@@ -1,0 +1,53 @@
+"""Ablation — cluster depth bound (the paper fixes depth = 5).
+
+Sweeps the covering depth bound and reports area/runtime, showing why
+the paper settles on 5: area improves sharply up to moderate depths and
+saturates, while runtime keeps growing.
+"""
+
+from repro.burstmode.benchmarks import synthesize_benchmark
+from repro.mapping.mapper import MappingOptions, async_tmap
+from repro.reporting import render_table
+
+from .conftest import emit
+
+DEPTHS = [1, 2, 3, 5, 7]
+DESIGN = "pe-send-ifc"
+
+
+def test_ablation_depth(annotated_libraries, benchmark):
+    library = annotated_libraries["CMOS3"]
+    net = synthesize_benchmark(DESIGN).netlist(DESIGN)
+    rows = []
+    areas = {}
+    for depth in DEPTHS:
+        result = async_tmap(net, library, MappingOptions(max_depth=depth))
+        assert result.mapped.equivalent(net)
+        areas[depth] = result.area
+        rows.append(
+            (
+                depth,
+                f"{result.area:.0f}",
+                f"{result.delay:.2f}",
+                sum(result.cell_usage().values()),
+                f"{result.elapsed:.2f}",
+            )
+        )
+    emit(
+        "ablation_depth",
+        render_table(
+            ["Depth bound", "Area", "Delay (ns)", "Cells", "CPU (s)"],
+            rows,
+            title=f"Ablation — depth bound sweep on {DESIGN} / CMOS3",
+        ),
+    )
+    # Monotone improvement up to the paper's operating point.
+    assert areas[5] <= areas[2] <= areas[1]
+    # Diminishing returns past depth 5 (the paper's choice).
+    assert areas[7] >= 0.9 * areas[5]
+
+    benchmark.pedantic(
+        lambda: async_tmap(net, library, MappingOptions(max_depth=5)),
+        rounds=1,
+        iterations=1,
+    )

@@ -1,0 +1,71 @@
+"""Ablation — the asynchronous matching filter (section 3.2.2).
+
+Quantifies the filter per library: how often hazardous cells match, how
+often they are rejected, and what the screening costs — the mechanism
+behind Table 4's runtime overhead ("very dependent upon the number of
+hazardous elements present in the library").  Also compares the exact
+filter with the paper's record-list filter.
+"""
+
+from repro.burstmode.benchmarks import synthesize_benchmark
+from repro.mapping.mapper import MappingOptions, async_tmap
+from repro.reporting import render_table
+
+from .conftest import emit
+
+DESIGN = "abcs"
+LIBRARIES = ["ACTEL", "LSI", "CMOS3", "GDT"]
+
+#: Table 1's hazardous fractions, which should order the filter load.
+HAZARDOUS_FRACTION = {"ACTEL": 24 / 84, "LSI": 12 / 86, "CMOS3": 1 / 30, "GDT": 0.0}
+
+
+def test_ablation_hazard_filter(annotated_libraries, benchmark):
+    net = synthesize_benchmark(DESIGN).netlist(DESIGN)
+    rows = []
+    screens = {}
+    for library_name in LIBRARIES:
+        library = annotated_libraries[library_name]
+        exact = async_tmap(net, library, MappingOptions(filter_mode="exact"))
+        paper = async_tmap(net, library, MappingOptions(filter_mode="paper"))
+        screens[library_name] = exact.stats.hazardous_matches
+        rows.append(
+            (
+                library_name,
+                f"{HAZARDOUS_FRACTION[library_name]:.0%}",
+                exact.stats.matches,
+                exact.stats.hazardous_matches,
+                exact.stats.hazard_rejections,
+                exact.stats.hazard_accepts,
+                f"{exact.elapsed:.2f}",
+                f"{paper.elapsed:.2f}",
+            )
+        )
+    emit(
+        "ablation_hazard_filter",
+        render_table(
+            [
+                "Library",
+                "Hazardous cells",
+                "Matches",
+                "Screened",
+                "Rejected",
+                "Accepted",
+                "Exact (s)",
+                "Paper (s)",
+            ],
+            rows,
+            title=f"Ablation — matching-filter activity on {DESIGN}",
+        ),
+    )
+
+    # Screening load follows the hazardous fraction of the library.
+    assert screens["ACTEL"] >= screens["LSI"] >= screens["GDT"]
+    assert screens["GDT"] == 0
+
+    library = annotated_libraries["ACTEL"]
+    benchmark.pedantic(
+        lambda: async_tmap(net, library, MappingOptions()),
+        rounds=1,
+        iterations=1,
+    )

@@ -1,0 +1,71 @@
+"""Table 1 — libraries and their hazardous elements.
+
+Paper's rows::
+
+    LSI9K   Muxes            12 / 86   14%
+    CMOS3   Muxes             1 / 30    3%
+    GDT     None              0 / 72    0%
+    Actel   AOIs,OAIs,Muxes  24 / 84   29%
+
+The census is pure structure analysis, so the reproduction target is
+*exact* equality of counts and hazardous families.
+"""
+
+import pytest
+
+from repro.hazards.analyzer import analyze_expression
+from repro.reporting import render_table
+
+from .conftest import emit
+
+PAPER_ROWS = {
+    "LSI": ("Muxes", 12, 86, 14),
+    "CMOS3": ("Muxes", 1, 30, 3),
+    "GDT": ("None", 0, 72, 0),
+    "ACTEL": ("AOIs,OAIs,Muxes", 24, 84, 29),
+}
+
+FAMILY_LABEL = {
+    frozenset(): "None",
+    frozenset({"mux"}): "Muxes",
+    frozenset({"mux", "aoi", "oai"}): "AOIs,OAIs,Muxes",
+}
+
+
+def test_table1_census(annotated_libraries, benchmark):
+    rows = []
+    for name in ("LSI", "CMOS3", "GDT", "ACTEL"):
+        library = annotated_libraries[name]
+        census = library.census()
+        label = FAMILY_LABEL.get(
+            frozenset(census["hazardous_families"]),
+            ",".join(census["hazardous_families"]),
+        )
+        rows.append(
+            (
+                name,
+                label,
+                census["hazardous"],
+                census["total"],
+                f"{census['percent']}%",
+            )
+        )
+        paper_label, paper_hazardous, paper_total, paper_percent = PAPER_ROWS[name]
+        assert census["hazardous"] == paper_hazardous, name
+        assert census["total"] == paper_total, name
+        assert census["percent"] == paper_percent, name
+        assert label == paper_label, name
+
+    emit(
+        "table1",
+        render_table(
+            ["Library", "Hazardous Elements", "#", "Total", "% Hazardous"],
+            rows,
+            title="Table 1 — libraries and their hazardous elements",
+        ),
+    )
+
+    # Benchmark the unit of work behind the census: hazard analysis of
+    # one representative hazardous cell.
+    mux = annotated_libraries["LSI"].cell("MUX21_1X")
+    benchmark(lambda: analyze_expression(mux.expression, mux.pins))

@@ -1,0 +1,64 @@
+"""Table 3 — automatically-mapped vs hand-mapped designs (depth 5).
+
+Paper::
+
+    SCSI / LSI:  async tmap area 168 (no hand-mapped number published)
+    ABCS / GDT:  hand-mapped 312, async tmap 272  → auto ≈ 13% smaller
+
+The original hand mappings were never published; our reference is a
+careful gate-per-gate manual translation (see
+``repro.mapping.reference``).  The reproduction target is the *claim*:
+the asynchronous mapper matches or beats the hand-style cover, with
+the margin in the tens of percent, while remaining hazard-safe.
+Areas are pulldown-transistor counts, as in the paper.
+"""
+
+from repro.burstmode.benchmarks import synthesize_benchmark
+from repro.mapping.mapper import MappingOptions, async_tmap
+from repro.mapping.reference import hand_style_reference
+from repro.reporting import render_table
+
+from .conftest import emit
+
+DESIGNS = [("scsi", "LSI"), ("abcs", "GDT")]
+
+
+def test_table3_hand_vs_auto(annotated_libraries, benchmark):
+    options = MappingOptions(max_depth=5)
+    rows = []
+    ratios = {}
+    for design, library_name in DESIGNS:
+        library = annotated_libraries[library_name]
+        net = synthesize_benchmark(design).netlist(design)
+        hand = hand_style_reference(net, library, options)
+        auto = async_tmap(net, library, options)
+        ratios[design] = auto.area / hand.area
+        rows.append(
+            (design.upper(), library_name, "hand-style", f"{hand.area:.0f}",
+             f"{hand.elapsed:.1f}")
+        )
+        rows.append(
+            (design.upper(), library_name, "async tmap", f"{auto.area:.0f}",
+             f"{auto.elapsed:.1f}")
+        )
+
+    emit(
+        "table3",
+        render_table(
+            ["Design", "Library", "How Mapped", "Cost (area)", "Time (s)"],
+            rows,
+            title="Table 3 — automatically-mapped vs hand-style designs (depth 5)",
+        ),
+    )
+
+    # Shape: auto within (well under) the hand-style area; the paper
+    # reports auto ≈ 13% *smaller* than hand on ABCS.
+    for design, ratio in ratios.items():
+        assert ratio <= 1.0, (design, ratio)
+
+    design, library_name = DESIGNS[1]
+    library = annotated_libraries[library_name]
+    net = synthesize_benchmark(design).netlist(design)
+    benchmark.pedantic(
+        lambda: async_tmap(net, library, options), rounds=1, iterations=1
+    )

@@ -1,0 +1,46 @@
+"""Shared infrastructure for the paper-reproduction benchmark harness.
+
+Each ``bench_table*`` module regenerates one table (or figure gallery)
+of the paper.  Tables are printed to stdout (run with ``-s`` to see
+them live) and appended to ``benchmarks/results/`` for EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def emit(name: str, text: str) -> None:
+    """Print a reproduction table and persist it under results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    print()
+    print(text)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+
+
+@pytest.fixture(scope="session")
+def annotated_libraries():
+    """The four synthetic libraries, hazard-annotated once per session."""
+    from repro.library import actel_act1, cmos3, gdt, lsi9k
+
+    libraries = {}
+    for build in (lsi9k, cmos3, gdt, actel_act1):
+        library = build()
+        if not library.annotated:
+            library.annotate_hazards()
+        libraries[library.name] = library
+    return libraries
+
+
+@pytest.fixture(scope="session")
+def mini_library():
+    from repro.library import minimal_teaching_library
+
+    library = minimal_teaching_library()
+    if not library.annotated:
+        library.annotate_hazards()
+    return library

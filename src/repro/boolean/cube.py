@@ -1,0 +1,382 @@
+"""Cubes (product terms) encoded as USED/PHASE bit-vector pairs.
+
+This is the "metaproduct-like" structure of Siegel et al., section 4.1.1
+(after Coudert & Madre): a cube over ``nvars`` Boolean variables is a pair
+of machine integers.  Bit ``i`` of ``used`` is set iff variable ``i``
+appears in the cube; when it does, bit ``i`` of ``phase`` gives its
+polarity (1 = positive literal, 0 = complemented literal).
+
+The encoding makes the hazard-analysis primitives of the paper one-liner
+bit operations, e.g. cube adjacency::
+
+    CONFLICTS = (c1.used & c2.used) & (c1.phase ^ c2.phase)
+
+Two cubes are adjacent iff exactly one bit of ``CONFLICTS`` is set and the
+cubes intersect everywhere else.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Optional, Sequence
+
+
+def popcount(x: int) -> int:
+    """Number of set bits of a non-negative integer."""
+    return x.bit_count()
+
+
+def bit_indices(x: int) -> Iterator[int]:
+    """Yield the indices of the set bits of ``x`` in increasing order."""
+    while x:
+        low = x & -x
+        yield low.bit_length() - 1
+        x ^= low
+
+
+class Cube:
+    """An immutable product term over a fixed number of variables.
+
+    Parameters
+    ----------
+    used:
+        Bit-vector of the variables appearing in the cube.
+    phase:
+        Bit-vector of polarities for the used variables.  Bits outside
+        ``used`` must be zero (the constructor normalizes them away).
+    nvars:
+        Size of the variable universe the cube lives in.
+    """
+
+    __slots__ = ("used", "phase", "nvars")
+
+    def __init__(self, used: int, phase: int, nvars: int) -> None:
+        if nvars < 0:
+            raise ValueError("nvars must be non-negative")
+        mask = (1 << nvars) - 1
+        if used & ~mask:
+            raise ValueError("used bits outside the variable universe")
+        self.used = used
+        self.phase = phase & used
+        self.nvars = nvars
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def universe(cls, nvars: int) -> "Cube":
+        """The cube with no literals: the whole Boolean space."""
+        return cls(0, 0, nvars)
+
+    @classmethod
+    def from_literals(cls, literals: Iterable[tuple[int, bool]], nvars: int) -> "Cube":
+        """Build a cube from ``(variable index, positive?)`` pairs.
+
+        Raises ``ValueError`` if the same variable appears with both
+        polarities (an empty product has no cube representation here;
+        callers model emptiness with ``None``).
+        """
+        used = 0
+        phase = 0
+        for var, positive in literals:
+            if not 0 <= var < nvars:
+                raise ValueError(f"variable index {var} out of range")
+            bit = 1 << var
+            if used & bit:
+                if bool(phase & bit) != positive:
+                    raise ValueError(
+                        f"variable {var} appears with both polarities"
+                    )
+                continue
+            used |= bit
+            if positive:
+                phase |= bit
+        return cls(used, phase, nvars)
+
+    @classmethod
+    def from_string(cls, text: str, names: Sequence[str]) -> "Cube":
+        """Parse a cube like ``"ab'c"`` against an ordered name list.
+
+        Single-character variable names only; a trailing ``'`` complements
+        the preceding variable.  ``"1"`` denotes the universal cube.
+        """
+        text = text.strip()
+        index = {name: i for i, name in enumerate(names)}
+        if text in ("1", ""):
+            return cls.universe(len(names))
+        literals: list[tuple[int, bool]] = []
+        i = 0
+        while i < len(text):
+            ch = text[i]
+            if ch.isspace():
+                i += 1
+                continue
+            if ch not in index:
+                raise ValueError(f"unknown variable {ch!r} in cube {text!r}")
+            positive = True
+            if i + 1 < len(text) and text[i + 1] == "'":
+                positive = False
+                i += 1
+            literals.append((index[ch], positive))
+            i += 1
+        return cls.from_literals(literals, len(names))
+
+    @classmethod
+    def from_pattern(cls, pattern: str) -> "Cube":
+        """Parse a positional pattern like ``"1-0"`` (1, 0, or ``-``).
+
+        Character ``i`` of the pattern describes variable ``i``.
+        """
+        used = 0
+        phase = 0
+        for i, ch in enumerate(pattern):
+            if ch == "1":
+                used |= 1 << i
+                phase |= 1 << i
+            elif ch == "0":
+                used |= 1 << i
+            elif ch != "-":
+                raise ValueError(f"bad pattern character {ch!r}")
+        return cls(used, phase, len(pattern))
+
+    @classmethod
+    def minterm(cls, point: int, nvars: int) -> "Cube":
+        """The minterm cube of the point ``point`` (an nvars-bit integer)."""
+        mask = (1 << nvars) - 1
+        return cls(mask, point & mask, nvars)
+
+    # ------------------------------------------------------------------
+    # Basic predicates
+    # ------------------------------------------------------------------
+    @property
+    def num_literals(self) -> int:
+        """Number of literals in the cube."""
+        return popcount(self.used)
+
+    @property
+    def free_vars(self) -> int:
+        """Bit-vector of variables *not* bound by the cube."""
+        return ((1 << self.nvars) - 1) & ~self.used
+
+    def is_universe(self) -> bool:
+        return self.used == 0
+
+    def is_minterm(self) -> bool:
+        return self.used == (1 << self.nvars) - 1
+
+    def contains_point(self, point: int) -> bool:
+        """True iff the minterm ``point`` lies inside the cube."""
+        return (point & self.used) == self.phase
+
+    def contains(self, other: "Cube") -> bool:
+        """Single-cube containment: ``self`` ⊇ ``other``."""
+        self._check_universe(other)
+        if self.used & ~other.used:
+            return False
+        return not ((self.phase ^ other.phase) & self.used)
+
+    def intersects(self, other: "Cube") -> bool:
+        """True iff the cubes share at least one minterm."""
+        self._check_universe(other)
+        return not ((self.used & other.used) & (self.phase ^ other.phase))
+
+    # ------------------------------------------------------------------
+    # Combinators
+    # ------------------------------------------------------------------
+    def intersection(self, other: "Cube") -> Optional["Cube"]:
+        """Cube intersection, or ``None`` when disjoint."""
+        self._check_universe(other)
+        if (self.used & other.used) & (self.phase ^ other.phase):
+            return None
+        return Cube(self.used | other.used, self.phase | other.phase, self.nvars)
+
+    def supercube(self, other: "Cube") -> "Cube":
+        """Smallest cube containing both cubes.
+
+        For two minterms α and β this is the transition space T[α, β]
+        of the paper (Definition 4.2).
+        """
+        self._check_universe(other)
+        used = self.used & other.used & ~(self.phase ^ other.phase)
+        return Cube(used, self.phase & used, self.nvars)
+
+    def conflicts(self, other: "Cube") -> int:
+        """The CONFLICTS bit-vector of section 4.1.1."""
+        self._check_universe(other)
+        return (self.used & other.used) & (self.phase ^ other.phase)
+
+    def is_adjacent(self, other: "Cube") -> bool:
+        """True iff the cubes conflict in exactly one variable."""
+        conf = self.conflicts(other)
+        return conf != 0 and (conf & (conf - 1)) == 0
+
+    def consensus(self, other: "Cube") -> Optional["Cube"]:
+        """Consensus (adjacency cube) of two adjacent cubes.
+
+        Returns ``None`` unless the cubes conflict in exactly one
+        variable.  The result is the OR of the two cubes with the
+        conflicting literal masked out — the cube spanned by the
+        transitions between the two cubes (Figure 5 of the paper).
+        """
+        conf = self.conflicts(other)
+        if conf == 0 or conf & (conf - 1):
+            return None
+        used = (self.used | other.used) & ~conf
+        phase = (self.phase | other.phase) & used
+        return Cube(used, phase, self.nvars)
+
+    def cofactor_var(self, var: int, value: bool) -> Optional["Cube"]:
+        """Cofactor with respect to a single variable assignment.
+
+        Returns ``None`` when the cube is inconsistent with the
+        assignment (the cofactor is empty).
+        """
+        bit = 1 << var
+        if self.used & bit:
+            if bool(self.phase & bit) != value:
+                return None
+            return Cube(self.used & ~bit, self.phase & ~bit, self.nvars)
+        return self
+
+    def cofactor(self, other: "Cube") -> Optional["Cube"]:
+        """Generalized cofactor ``self / other`` (Shannon with a cube).
+
+        Empty (``None``) when the cubes do not intersect; otherwise the
+        cube with ``other``'s bound variables freed.
+        """
+        if not self.intersects(other):
+            return None
+        used = self.used & ~other.used
+        return Cube(used, self.phase & used, self.nvars)
+
+    def flip_var(self, var: int) -> "Cube":
+        """Complement one bound variable of the cube.
+
+        Used by ``findMicDynHaz2level`` to enumerate the cubes adjacent
+        to a cube intersection.
+        """
+        bit = 1 << var
+        if not self.used & bit:
+            raise ValueError(f"variable {var} is free in the cube")
+        return Cube(self.used, self.phase ^ bit, self.nvars)
+
+    def expand_var(self, var: int) -> "Cube":
+        """Remove a literal from the cube (raise toward the universe)."""
+        bit = 1 << var
+        return Cube(self.used & ~bit, self.phase & ~bit, self.nvars)
+
+    def with_universe(self, nvars: int) -> "Cube":
+        """Re-embed the cube in a (weakly) larger variable universe."""
+        if nvars < self.nvars:
+            raise ValueError("cannot shrink the variable universe")
+        return Cube(self.used, self.phase, nvars)
+
+    def remap(self, mapping: Sequence[int], nvars: int) -> "Cube":
+        """Rename variables: old index ``i`` becomes ``mapping[i]``.
+
+        Used when transporting library-cell hazards through a Boolean
+        match's pin binding.
+        """
+        used = 0
+        phase = 0
+        for var in bit_indices(self.used):
+            new = mapping[var]
+            if not 0 <= new < nvars:
+                raise ValueError(f"mapped index {new} out of range")
+            bit = 1 << new
+            if used & bit:
+                raise ValueError("mapping is not injective on the cube support")
+            used |= bit
+            if self.phase & (1 << var):
+                phase |= bit
+        return Cube(used, phase, nvars)
+
+    def remap_with_polarity(
+        self, mapping: Sequence[tuple[int, bool]], nvars: int
+    ) -> "Cube":
+        """Rename variables with optional polarity inversion.
+
+        ``mapping[i]`` is ``(new_index, inverted)``; when ``inverted`` the
+        literal's phase flips.
+        """
+        used = 0
+        phase = 0
+        for var in bit_indices(self.used):
+            new, inverted = mapping[var]
+            bit = 1 << new
+            if used & bit:
+                raise ValueError("mapping is not injective on the cube support")
+            used |= bit
+            positive = bool(self.phase & (1 << var)) ^ inverted
+            if positive:
+                phase |= bit
+        return Cube(used, phase, nvars)
+
+    # ------------------------------------------------------------------
+    # Enumeration
+    # ------------------------------------------------------------------
+    def size(self) -> int:
+        """Number of minterms in the cube."""
+        return 1 << (self.nvars - self.num_literals)
+
+    def minterms(self) -> Iterator[int]:
+        """Yield the points (integers) contained in the cube."""
+        free = list(bit_indices(self.free_vars))
+        base = self.phase
+        for assignment in range(1 << len(free)):
+            point = base
+            for j, var in enumerate(free):
+                if assignment >> j & 1:
+                    point |= 1 << var
+            yield point
+
+    def distance(self, other: "Cube") -> int:
+        """Number of conflicting variables between the cubes."""
+        return popcount(self.conflicts(other))
+
+    # ------------------------------------------------------------------
+    # Formatting / dunder plumbing
+    # ------------------------------------------------------------------
+    def to_pattern(self) -> str:
+        chars = []
+        for i in range(self.nvars):
+            bit = 1 << i
+            if not self.used & bit:
+                chars.append("-")
+            elif self.phase & bit:
+                chars.append("1")
+            else:
+                chars.append("0")
+        return "".join(chars)
+
+    def to_string(self, names: Optional[Sequence[str]] = None) -> str:
+        if self.is_universe():
+            return "1"
+        parts = []
+        for i in bit_indices(self.used):
+            name = names[i] if names is not None else f"x{i}"
+            if self.phase & (1 << i):
+                parts.append(name)
+            else:
+                parts.append(name + "'")
+        return "".join(parts)
+
+    def _check_universe(self, other: "Cube") -> None:
+        if self.nvars != other.nvars:
+            raise ValueError(
+                f"cube universes differ ({self.nvars} vs {other.nvars})"
+            )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Cube):
+            return NotImplemented
+        return (
+            self.used == other.used
+            and self.phase == other.phase
+            and self.nvars == other.nvars
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.used, self.phase, self.nvars))
+
+    def __repr__(self) -> str:
+        return f"Cube({self.to_pattern()!r})"

@@ -1,0 +1,538 @@
+"""Boolean factored form (BFF) expressions.
+
+The paper (section 3.2.1) represents both the *function* and the
+*structure* of each library element as a Boolean factored form: the BFF
+of a static CMOS cell mirrors its pulldown network, so analyzing the BFF
+as a multilevel AND/OR/NOT network characterizes the cell's logic-hazard
+behaviour.  ``s*a + s'*b`` (a 2:1 mux as two gates) and ``(s + b)*(s' + a)``
+describe the same function with different hazards (Figure 4).
+
+This module provides the expression AST, a parser, printers, evaluation,
+negation-normal form, and hazard-preserving flattening to two-level SOP
+(distributive law + DeMorgan only — Unger Theorem 4.3).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Mapping, Optional, Sequence
+
+from .cover import Cover
+from .cube import Cube
+
+
+class Expr:
+    """Base class for BFF expression nodes (immutable)."""
+
+    __slots__ = ()
+
+    # -- combinators ----------------------------------------------------
+    def __invert__(self) -> "Expr":
+        return Not(self)
+
+    def __and__(self, other: "Expr") -> "Expr":
+        return And((self, other))
+
+    def __or__(self, other: "Expr") -> "Expr":
+        return Or((self, other))
+
+    # -- interface ------------------------------------------------------
+    def support(self) -> frozenset[str]:
+        """Names of variables the expression mentions."""
+        raise NotImplementedError
+
+    def evaluate(self, env: Mapping[str, bool]) -> bool:
+        raise NotImplementedError
+
+    def children(self) -> tuple["Expr", ...]:
+        return ()
+
+    def rename(self, mapping: Mapping[str, str]) -> "Expr":
+        """Rename variables (pin binding)."""
+        raise NotImplementedError
+
+    def substitute(self, mapping: Mapping[str, "Expr"]) -> "Expr":
+        """Replace variables by expressions (no simplification)."""
+        raise NotImplementedError
+
+    # -- structure metrics ----------------------------------------------
+    def num_literals(self) -> int:
+        """Literal count of the factored form.
+
+        For a static CMOS cell this equals the pulldown-network
+        transistor count, the paper's Table 3 area unit.
+        """
+        raise NotImplementedError
+
+    def depth(self) -> int:
+        """Levels of alternating logic (variables are depth 0)."""
+        raise NotImplementedError
+
+    # -- normal forms ----------------------------------------------------
+    def to_nnf(self, negate: bool = False) -> "Expr":
+        """Negation normal form via DeMorgan (hazard-preserving)."""
+        raise NotImplementedError
+
+    def sop_products(self) -> list[tuple[tuple[str, bool], ...]]:
+        """Flatten to products of literals via the distributive law.
+
+        Returns a list of products; each product is a tuple of
+        ``(variable name, positive?)`` literals in encounter order,
+        *including* vacuous products (containing ``x`` and ``x'``) —
+        callers decide how to treat them.  No simplification whatsoever
+        is applied (the flattening is static-hazard-preserving).
+        """
+        nnf = self.to_nnf()
+        return _distribute(nnf)
+
+    def to_cover(
+        self, names: Sequence[str], keep_vacuous: bool = False
+    ) -> Cover:
+        """Two-level SOP cover over an ordered variable list.
+
+        Vacuous products (a variable in both phases) are dropped unless
+        ``keep_vacuous`` — for the *plain* (label-free) SOP they
+        contribute nothing in steady state; static-0 and s.i.c. dynamic
+        hazards they cause are analyzed on the path-labelled flattening
+        instead (see :mod:`repro.boolean.paths`).
+        """
+        index = {name: i for i, name in enumerate(names)}
+        missing = self.support() - set(names)
+        if missing:
+            raise ValueError(f"variables {sorted(missing)} missing from ordering")
+        cubes = []
+        seen: set[Cube] = set()
+        for product in self.sop_products():
+            cube = _product_to_cube(product, index, len(names))
+            if cube is None:
+                if keep_vacuous:
+                    raise ValueError(
+                        "keep_vacuous requires the labelled flattening in "
+                        "repro.boolean.paths"
+                    )
+                continue
+            if cube in seen:
+                continue
+            seen.add(cube)
+            cubes.append(cube)
+        return Cover(cubes, len(names))
+
+    def to_string(self) -> str:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.to_string()!r})"
+
+
+class Var(Expr):
+    __slots__ = ("name",)
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+
+    def support(self) -> frozenset[str]:
+        return frozenset((self.name,))
+
+    def evaluate(self, env: Mapping[str, bool]) -> bool:
+        return bool(env[self.name])
+
+    def rename(self, mapping: Mapping[str, str]) -> "Expr":
+        return Var(mapping.get(self.name, self.name))
+
+    def substitute(self, mapping: Mapping[str, "Expr"]) -> "Expr":
+        return mapping.get(self.name, self)
+
+    def num_literals(self) -> int:
+        return 1
+
+    def depth(self) -> int:
+        return 0
+
+    def to_nnf(self, negate: bool = False) -> "Expr":
+        return Lit(self.name, not negate)
+
+    def to_string(self) -> str:
+        return self.name
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Var) and other.name == self.name
+
+    def __hash__(self) -> int:
+        return hash(("Var", self.name))
+
+
+class Lit(Expr):
+    """A literal: a variable with an explicit polarity (NNF leaf)."""
+
+    __slots__ = ("name", "positive")
+
+    def __init__(self, name: str, positive: bool) -> None:
+        self.name = name
+        self.positive = positive
+
+    def support(self) -> frozenset[str]:
+        return frozenset((self.name,))
+
+    def evaluate(self, env: Mapping[str, bool]) -> bool:
+        return bool(env[self.name]) == self.positive
+
+    def rename(self, mapping: Mapping[str, str]) -> "Expr":
+        return Lit(mapping.get(self.name, self.name), self.positive)
+
+    def substitute(self, mapping: Mapping[str, "Expr"]) -> "Expr":
+        if self.name not in mapping:
+            return self
+        replacement = mapping[self.name]
+        return replacement if self.positive else Not(replacement)
+
+    def num_literals(self) -> int:
+        return 1
+
+    def depth(self) -> int:
+        return 0
+
+    def to_nnf(self, negate: bool = False) -> "Expr":
+        return Lit(self.name, self.positive ^ negate)
+
+    def to_string(self) -> str:
+        return self.name if self.positive else self.name + "'"
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Lit)
+            and other.name == self.name
+            and other.positive == self.positive
+        )
+
+    def __hash__(self) -> int:
+        return hash(("Lit", self.name, self.positive))
+
+
+class Const(Expr):
+    __slots__ = ("value",)
+
+    def __init__(self, value: bool) -> None:
+        self.value = bool(value)
+
+    def support(self) -> frozenset[str]:
+        return frozenset()
+
+    def evaluate(self, env: Mapping[str, bool]) -> bool:
+        return self.value
+
+    def rename(self, mapping: Mapping[str, str]) -> "Expr":
+        return self
+
+    def substitute(self, mapping: Mapping[str, "Expr"]) -> "Expr":
+        return self
+
+    def num_literals(self) -> int:
+        return 0
+
+    def depth(self) -> int:
+        return 0
+
+    def to_nnf(self, negate: bool = False) -> "Expr":
+        return Const(self.value ^ negate)
+
+    def to_string(self) -> str:
+        return "1" if self.value else "0"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Const) and other.value == self.value
+
+    def __hash__(self) -> int:
+        return hash(("Const", self.value))
+
+
+class Not(Expr):
+    __slots__ = ("child",)
+
+    def __init__(self, child: Expr) -> None:
+        self.child = child
+
+    def support(self) -> frozenset[str]:
+        return self.child.support()
+
+    def evaluate(self, env: Mapping[str, bool]) -> bool:
+        return not self.child.evaluate(env)
+
+    def children(self) -> tuple[Expr, ...]:
+        return (self.child,)
+
+    def rename(self, mapping: Mapping[str, str]) -> "Expr":
+        return Not(self.child.rename(mapping))
+
+    def substitute(self, mapping: Mapping[str, "Expr"]) -> "Expr":
+        return Not(self.child.substitute(mapping))
+
+    def num_literals(self) -> int:
+        return self.child.num_literals()
+
+    def depth(self) -> int:
+        # A complemented input is a literal, not a gate level; an
+        # inverter over a subexpression adds one level.
+        if isinstance(self.child, (Var, Lit)):
+            return 0
+        return self.child.depth() + 1
+
+    def to_nnf(self, negate: bool = False) -> "Expr":
+        return self.child.to_nnf(not negate)
+
+    def to_string(self) -> str:
+        inner = self.child.to_string()
+        if isinstance(self.child, (Var, Lit, Const)):
+            return inner + "'"
+        return "(" + inner + ")'"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Not) and other.child == self.child
+
+    def __hash__(self) -> int:
+        return hash(("Not", self.child))
+
+
+class _NaryExpr(Expr):
+    __slots__ = ("terms",)
+    _symbol = "?"
+
+    def __init__(self, terms: Sequence[Expr]) -> None:
+        flattened: list[Expr] = []
+        for term in terms:
+            if isinstance(term, type(self)):
+                flattened.extend(term.terms)
+            else:
+                flattened.append(term)
+        if len(flattened) < 1:
+            raise ValueError("n-ary expression needs at least one term")
+        self.terms = tuple(flattened)
+
+    def support(self) -> frozenset[str]:
+        result: frozenset[str] = frozenset()
+        for term in self.terms:
+            result |= term.support()
+        return result
+
+    def children(self) -> tuple[Expr, ...]:
+        return self.terms
+
+    def num_literals(self) -> int:
+        return sum(t.num_literals() for t in self.terms)
+
+    def depth(self) -> int:
+        return 1 + max(t.depth() for t in self.terms)
+
+    def __eq__(self, other: object) -> bool:
+        return type(other) is type(self) and other.terms == self.terms  # type: ignore[attr-defined]
+
+    def __hash__(self) -> int:
+        return hash((type(self).__name__, self.terms))
+
+
+class And(_NaryExpr):
+    _symbol = "*"
+
+    def evaluate(self, env: Mapping[str, bool]) -> bool:
+        return all(t.evaluate(env) for t in self.terms)
+
+    def rename(self, mapping: Mapping[str, str]) -> "Expr":
+        return And(tuple(t.rename(mapping) for t in self.terms))
+
+    def substitute(self, mapping: Mapping[str, "Expr"]) -> "Expr":
+        return And(tuple(t.substitute(mapping) for t in self.terms))
+
+    def to_nnf(self, negate: bool = False) -> "Expr":
+        parts = tuple(t.to_nnf(negate) for t in self.terms)
+        return Or(parts) if negate else And(parts)
+
+    def to_string(self) -> str:
+        parts = []
+        for term in self.terms:
+            text = term.to_string()
+            if isinstance(term, Or):
+                text = "(" + text + ")"
+            parts.append(text)
+        return "*".join(parts)
+
+
+class Or(_NaryExpr):
+    _symbol = "+"
+
+    def evaluate(self, env: Mapping[str, bool]) -> bool:
+        return any(t.evaluate(env) for t in self.terms)
+
+    def rename(self, mapping: Mapping[str, str]) -> "Expr":
+        return Or(tuple(t.rename(mapping) for t in self.terms))
+
+    def substitute(self, mapping: Mapping[str, "Expr"]) -> "Expr":
+        return Or(tuple(t.substitute(mapping) for t in self.terms))
+
+    def to_nnf(self, negate: bool = False) -> "Expr":
+        parts = tuple(t.to_nnf(negate) for t in self.terms)
+        return And(parts) if negate else Or(parts)
+
+    def to_string(self) -> str:
+        return " + ".join(t.to_string() for t in self.terms)
+
+
+# ----------------------------------------------------------------------
+# Flattening helpers
+# ----------------------------------------------------------------------
+
+def _distribute(expr: Expr) -> list[tuple[tuple[str, bool], ...]]:
+    """Distributive-law flattening of an NNF expression.
+
+    Returns products as literal tuples; keeps vacuous products.
+    """
+    if isinstance(expr, Lit):
+        return [((expr.name, expr.positive),)]
+    if isinstance(expr, Const):
+        return [()] if expr.value else []
+    if isinstance(expr, Or):
+        result: list[tuple[tuple[str, bool], ...]] = []
+        for term in expr.terms:
+            result.extend(_distribute(term))
+        return result
+    if isinstance(expr, And):
+        result = [()]
+        for term in expr.terms:
+            branch = _distribute(term)
+            result = [p + q for p in result for q in branch]
+        return result
+    raise TypeError(f"expression is not in NNF: {expr!r}")
+
+
+def _product_to_cube(
+    product: tuple[tuple[str, bool], ...],
+    index: Mapping[str, int],
+    nvars: int,
+) -> Optional[Cube]:
+    """Convert a literal product to a cube; ``None`` when vacuous."""
+    used = 0
+    phase = 0
+    for name, positive in product:
+        bit = 1 << index[name]
+        if used & bit:
+            if bool(phase & bit) != positive:
+                return None
+            continue
+        used |= bit
+        if positive:
+            phase |= bit
+    return Cube(used, phase, nvars)
+
+
+# ----------------------------------------------------------------------
+# Parser
+# ----------------------------------------------------------------------
+
+class _Tokenizer:
+    def __init__(self, text: str) -> None:
+        self.text = text
+        self.pos = 0
+
+    def tokens(self) -> Iterator[tuple[str, str]]:
+        text = self.text
+        i = 0
+        while i < len(text):
+            ch = text[i]
+            if ch.isspace():
+                i += 1
+                continue
+            if ch in "+*()'!":
+                yield (ch, ch)
+                i += 1
+                continue
+            if ch in "01" and (i + 1 == len(text) or not text[i + 1].isalnum()):
+                yield ("const", ch)
+                i += 1
+                continue
+            if ch.isalpha() or ch == "_":
+                j = i + 1
+                while j < len(text) and (text[j].isalnum() or text[j] == "_"):
+                    j += 1
+                yield ("ident", text[i:j])
+                i = j
+                continue
+            raise ValueError(f"unexpected character {ch!r} at position {i}")
+        yield ("end", "")
+
+
+def parse(text: str) -> Expr:
+    """Parse a Boolean factored form expression.
+
+    Grammar (``'`` is postfix complement, ``!`` prefix complement,
+    juxtaposition means AND)::
+
+        expr   := term ('+' term)*
+        term   := factor (('*')? factor)*
+        factor := atom "'"* | '!' factor
+        atom   := ident | '0' | '1' | '(' expr ')'
+
+    Examples: ``"s*a + s'*b"``, ``"(w + x)*y"``, ``"!(a*b) + c"``.
+    """
+    tokens = list(_Tokenizer(text).tokens())
+    pos = 0
+
+    def peek() -> tuple[str, str]:
+        return tokens[pos]
+
+    def advance() -> tuple[str, str]:
+        nonlocal pos
+        token = tokens[pos]
+        pos += 1
+        return token
+
+    def parse_expr() -> Expr:
+        terms = [parse_term()]
+        while peek()[0] == "+":
+            advance()
+            terms.append(parse_term())
+        return terms[0] if len(terms) == 1 else Or(tuple(terms))
+
+    def parse_term() -> Expr:
+        factors = [parse_factor()]
+        while True:
+            kind, _ = peek()
+            if kind == "*":
+                advance()
+                factors.append(parse_factor())
+            elif kind in ("ident", "(", "!", "const"):
+                factors.append(parse_factor())
+            else:
+                break
+        return factors[0] if len(factors) == 1 else And(tuple(factors))
+
+    def parse_factor() -> Expr:
+        kind, value = peek()
+        if kind == "!":
+            advance()
+            return Not(parse_factor())
+        node = parse_atom()
+        while peek()[0] == "'":
+            advance()
+            node = Not(node)
+        return node
+
+    def parse_atom() -> Expr:
+        kind, value = advance()
+        if kind == "ident":
+            return Var(value)
+        if kind == "const":
+            return Const(value == "1")
+        if kind == "(":
+            node = parse_expr()
+            closing, _ = advance()
+            if closing != ")":
+                raise ValueError("expected ')'")
+            return node
+        raise ValueError(f"unexpected token {value!r}")
+
+    result = parse_expr()
+    if peek()[0] != "end":
+        raise ValueError(f"trailing input at token {peek()[1]!r}")
+    return result
+
+
+def sorted_support(expr: Expr) -> list[str]:
+    """Deterministic variable ordering for an expression."""
+    return sorted(expr.support())

@@ -1,0 +1,257 @@
+"""Two-level minimization: primes, essentials, and unate covering.
+
+Provides the Quine–McCluskey-style exact minimizer used by the
+*synchronous* decomposition path (whose simplification step is precisely
+what can introduce static-1 hazards — Figure 3 of the paper), and the
+generic unate-covering solver shared with the hazard-free minimizer in
+:mod:`repro.burstmode.hfmin`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from .cover import Cover
+from .cube import Cube
+
+
+class CoveringProblem:
+    """A weighted unate covering problem.
+
+    ``rows[r]`` is the set of column indices able to cover row ``r``;
+    every row must be covered by at least one chosen column.  Solved
+    exactly by branch-and-bound with essential-column and row-dominance
+    reductions; falls back to a greedy bound first so pruning is
+    effective.
+    """
+
+    def __init__(self, rows: Sequence[set[int]], costs: Sequence[float]) -> None:
+        self.rows = [set(r) for r in rows]
+        self.costs = list(costs)
+        for i, row in enumerate(self.rows):
+            if not row:
+                raise ValueError(f"row {i} cannot be covered by any column")
+
+    def solve(self, max_nodes: int = 200_000) -> list[int]:
+        """Return a minimum-cost column set (exact unless the node budget
+        is exhausted, in which case the best solution found so far —
+        at worst the greedy one — is returned)."""
+        greedy = self._greedy()
+        best_cost = sum(self.costs[c] for c in greedy)
+        best = list(greedy)
+        budget = [max_nodes]
+
+        def recurse(rows: list[set[int]], chosen: list[int], cost: float) -> None:
+            nonlocal best, best_cost
+            if budget[0] <= 0:
+                return
+            budget[0] -= 1
+            rows = [set(r) for r in rows]
+            chosen = list(chosen)
+            # Reductions to fixpoint.
+            changed = True
+            while changed and rows:
+                changed = False
+                # Essential columns: a row with a single candidate.
+                for row in rows:
+                    if len(row) == 1:
+                        col = next(iter(row))
+                        chosen.append(col)
+                        cost += self.costs[col]
+                        rows = [r for r in rows if col not in r]
+                        changed = True
+                        break
+                if changed:
+                    continue
+                # Row dominance: drop rows that are supersets of others.
+                keep: list[set[int]] = []
+                for row in rows:
+                    if any(other < row for other in rows):
+                        changed = True
+                        continue
+                    keep.append(row)
+                rows = keep
+            if cost >= best_cost:
+                return
+            if not rows:
+                best = chosen
+                best_cost = cost
+                return
+            # Branch on the smallest row: any cover must pick one of its
+            # columns, so trying each in turn is exhaustive.
+            pivot = min(rows, key=len)
+            for col in sorted(pivot, key=lambda c: self.costs[c]):
+                recurse(
+                    [r for r in rows if col not in r],
+                    chosen + [col],
+                    cost + self.costs[col],
+                )
+
+        recurse(self.rows, [], 0.0)
+        return sorted(set(best))
+
+    def _greedy(self) -> list[int]:
+        rows = [set(r) for r in self.rows]
+        chosen: list[int] = []
+        while rows:
+            counts: dict[int, int] = {}
+            for row in rows:
+                for col in row:
+                    counts[col] = counts.get(col, 0) + 1
+            col = min(
+                counts, key=lambda c: (self.costs[c] / counts[c], self.costs[c], c)
+            )
+            chosen.append(col)
+            rows = [r for r in rows if col not in r]
+        return chosen
+
+
+def essential_primes(cover: Cover, primes: Sequence[Cube]) -> list[Cube]:
+    """Primes covering some minterm no other prime covers."""
+    essentials = []
+    for i, prime in enumerate(primes):
+        others = [p for j, p in enumerate(primes) if j != i]
+        for point in prime.minterms():
+            if not any(o.contains_point(point) for o in others):
+                essentials.append(prime)
+                break
+    return essentials
+
+
+def minimize_exact(cover: Cover) -> Cover:
+    """Exact minimum-cube two-level cover (Quine–McCluskey).
+
+    Enumeral: generates all primes by iterated consensus, then solves
+    the prime-covering table over the ON-set minterms exactly.  Intended
+    for the small functions handled during decomposition and library
+    preparation (the paper's clusters are ≤ ~10 inputs).
+
+    .. warning:: minimization deletes redundant cubes and therefore can
+       *introduce static-1 hazards*; only the synchronous flow uses it.
+    """
+    if not cover.cubes:
+        return Cover.empty(cover.nvars)
+    primes = cover.all_primes()
+    minterms = sorted(cover.minterms())
+    if not minterms:
+        return Cover.empty(cover.nvars)
+    rows = []
+    for point in minterms:
+        candidates = {i for i, p in enumerate(primes) if p.contains_point(point)}
+        rows.append(candidates)
+    costs = [1.0 + p.num_literals * 1e-3 for p in primes]
+    chosen = CoveringProblem(rows, costs).solve()
+    return Cover([primes[i] for i in chosen], cover.nvars)
+
+
+def simplify_for_sync(cover: Cover) -> Cover:
+    """The synchronous decomposition's simplification step.
+
+    Drops duplicate and single-cube-contained cubes and removes
+    redundant cubes — hazard-*unsafe* (this is what Figure 3 warns
+    about), matching what MIS-style ``tech_decomp`` does.
+    """
+    return cover.dedup().drop_contained().irredundant()
+
+
+def complete_sum(cover: Cover) -> Cover:
+    """The complete sum (all primes) — the unique two-level SOP free of
+    all m.i.c. static-1 logic hazards (section 2.3 of the paper)."""
+    return Cover(cover.all_primes(), cover.nvars)
+
+
+def espresso_lite(
+    cover: Cover,
+    dcset: Optional[Cover] = None,
+    max_iterations: int = 5,
+) -> Cover:
+    """Heuristic two-level minimization: expand / irredundant / reduce.
+
+    The classical espresso loop in miniature, used as the synchronous
+    baseline where exact Quine–McCluskey is too slow.  ``dcset`` points
+    may be absorbed into cubes but are never required to be covered.
+
+    .. warning:: like every cover-shrinking transform, this is
+       hazard-unsafe; the asynchronous flow never calls it.
+    """
+    dc = dcset if dcset is not None else Cover.empty(cover.nvars)
+    care_function = cover  # ON-set care points the result must keep
+    full = cover.union(dc)
+
+    def expand(cubes: list[Cube]) -> list[Cube]:
+        expanded: list[Cube] = []
+        for cube in cubes:
+            prime = full.expand_to_prime(cube)
+            if not any(e.contains(prime) for e in expanded):
+                expanded = [e for e in expanded if not prime.contains(e)]
+                expanded.append(prime)
+        return expanded
+
+    def irredundant(cubes: list[Cube]) -> list[Cube]:
+        kept = list(cubes)
+        i = 0
+        while i < len(kept):
+            rest = Cover(kept[:i] + kept[i + 1 :], cover.nvars).union(dc)
+            victim = kept[i]
+            # a cube may go iff every ON point it covers stays covered
+            removable = all(
+                rest.evaluate(p) or dc.evaluate(p)
+                for p in victim.minterms()
+                if care_function.evaluate(p)
+            )
+            if removable and len(kept) > 1:
+                kept.pop(i)
+            else:
+                i += 1
+        return kept
+
+    def reduce(cubes: list[Cube]) -> list[Cube]:
+        reduced: list[Cube] = []
+        for i, cube in enumerate(cubes):
+            others = Cover(cubes[:i] + cubes[i + 1 :], cover.nvars).union(dc)
+            lonely = [
+                p
+                for p in cube.minterms()
+                if care_function.evaluate(p) and not others.evaluate(p)
+            ]
+            if not lonely:
+                continue
+            shrunk = Cube.minterm(lonely[0], cover.nvars)
+            for point in lonely[1:]:
+                shrunk = shrunk.supercube(Cube.minterm(point, cover.nvars))
+            reduced.append(shrunk)
+        return reduced if reduced else list(cubes)
+
+    current = cover.dedup().cubes
+    best_cost = None
+    for __ in range(max_iterations):
+        current = expand(current)
+        current = irredundant(current)
+        cost = (len(current), sum(c.num_literals for c in current))
+        if best_cost is not None and cost >= best_cost:
+            break
+        best_cost = cost
+        current = reduce(current)
+    result = Cover(expand(current), cover.nvars)
+    return Cover(irredundant(result.cubes), cover.nvars)
+
+
+def make_hazard_free_static(cover: Cover) -> Cover:
+    """Augment a cover with the consensus cubes needed to kill its
+    static-1 hazards, without disturbing the existing cube list.
+
+    A light-weight hazard-removal transform: repeatedly find uncovered
+    adjacencies (see :mod:`repro.hazards.static1`) and add the missing
+    prime.  The result keeps every original cube (gate), so other hazard
+    classes are not made worse.
+    """
+    from ..hazards.static1 import find_static1_hazards  # late import: layering
+
+    current = cover
+    for _ in range(64):
+        hazards = find_static1_hazards(current)
+        if not hazards:
+            return current
+        addition = current.expand_to_prime(hazards[0].transition)
+        current = current.with_cube(addition)
+    raise RuntimeError("static hazard removal did not converge")

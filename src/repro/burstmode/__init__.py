@@ -1,0 +1,61 @@
+"""Burst-mode front end: specs, hazard-free minimization, synthesis, benchmarks."""
+
+from .benchmarks import (
+    CATALOG,
+    TABLE5_ORDER,
+    BenchmarkInfo,
+    benchmark_names,
+    benchmark_netlist,
+    build_loop_machine,
+    synthesize_benchmark,
+)
+from .machine import (
+    ImplementationSimulator,
+    MachineStatus,
+    SpecSimulator,
+    conformance_check,
+)
+from .hfmin import (
+    HazardFreeError,
+    HazardFreeResult,
+    PrivilegedCube,
+    TransitionSpec,
+    classify_requirements,
+    dhf_prime_implicants,
+    expand_to_dhf_prime,
+    minimize_hazard_free,
+    verify_hazard_free_cover,
+)
+from .sequential import SequentialMachine, StepResult
+from .spec import Burst, BurstModeSpec, SpecError
+from .synth import SynthesisResult, synthesize
+
+__all__ = [
+    "Burst",
+    "BurstModeSpec",
+    "BenchmarkInfo",
+    "CATALOG",
+    "HazardFreeError",
+    "HazardFreeResult",
+    "ImplementationSimulator",
+    "MachineStatus",
+    "PrivilegedCube",
+    "SpecError",
+    "SequentialMachine",
+    "SpecSimulator",
+    "StepResult",
+    "SynthesisResult",
+    "TABLE5_ORDER",
+    "TransitionSpec",
+    "benchmark_names",
+    "benchmark_netlist",
+    "build_loop_machine",
+    "classify_requirements",
+    "conformance_check",
+    "dhf_prime_implicants",
+    "expand_to_dhf_prime",
+    "minimize_hazard_free",
+    "synthesize",
+    "synthesize_benchmark",
+    "verify_hazard_free_cover",
+]

@@ -1,0 +1,356 @@
+"""Hazard-free two-level minimization (Nowick & Dill, ICCAD'92).
+
+This is the paper's reference [12] — the logic optimizer whose output
+the asynchronous technology mapper consumes.  Given an incompletely
+specified function (ON-set / OFF-set covers; everything else don't
+care) and a set of multiple-input-change transitions, it produces a
+sum-of-products cover free of logic hazards for every specified
+transition:
+
+* a **1→1** transition ``[A, B]`` demands its whole transition cube be
+  held by a *single* cube of the cover (a *required cube*);
+* a **1→0** transition ``A→B`` makes its transition cube *privileged*
+  with start point ``A``: no cover cube may intersect it without
+  containing ``A`` (an *illegal intersection* could turn on and off
+  mid-burst — a dynamic hazard); additionally every maximal ON subcube
+  ``[A, C]`` is required, so the output falls exactly once;
+* a **0→1** transition is the reverse of a 1→0;
+* a **0→0** transition needs nothing (AND-OR logic cannot glitch high
+  while every product stays off).
+
+Two engines share the requirement analysis:
+
+* **exact** — all primes of (ON ∪ DC), split into maximal
+  *dhf-implicants* (no illegal intersections), then a minimum covering
+  over required cubes and ON points (the published algorithm);
+* **heuristic** — each required/ON cube greedily expanded to a maximal
+  dhf-implicant.  Still provably hazard-free (both Nowick–Dill
+  conditions hold by construction), merely not minimum; used for the
+  larger benchmark controllers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional, Sequence
+
+from ..boolean.cover import Cover
+from ..boolean.cube import Cube, bit_indices
+from ..boolean.minimize import CoveringProblem
+
+
+class HazardFreeError(Exception):
+    """The specification admits no hazard-free sum-of-products cover."""
+
+
+@dataclass(frozen=True)
+class TransitionSpec:
+    """One specified input burst: from point ``start`` to point ``end``."""
+
+    start: int
+    end: int
+
+    def space(self, nvars: int) -> Cube:
+        return Cube.minterm(self.start, nvars).supercube(
+            Cube.minterm(self.end, nvars)
+        )
+
+
+@dataclass(frozen=True)
+class PrivilegedCube:
+    """A dynamic transition's cube: touch it only through its start."""
+
+    cube: Cube
+    start: int
+
+    def illegally_intersected_by(self, implicant: Cube) -> bool:
+        return implicant.intersects(self.cube) and not implicant.contains_point(
+            self.start
+        )
+
+
+@dataclass
+class HazardFreeResult:
+    cover: Cover
+    required_cubes: list[Cube]
+    privileged_cubes: list[PrivilegedCube]
+    exact: bool
+
+
+def classify_requirements(
+    onset: Cover,
+    offset: Cover,
+    transitions: Sequence[TransitionSpec],
+) -> tuple[list[Cube], list[PrivilegedCube]]:
+    """Derive required and privileged cubes from the transition list."""
+    nvars = onset.nvars
+    required: list[Cube] = []
+    privileged: list[PrivilegedCube] = []
+
+    def value(point: int) -> Optional[bool]:
+        if onset.evaluate(point):
+            return True
+        if offset.evaluate(point):
+            return False
+        return None
+
+    for transition in transitions:
+        v_start = value(transition.start)
+        v_end = value(transition.end)
+        if v_start is None or v_end is None:
+            raise HazardFreeError(
+                "transition endpoints must have specified values"
+            )
+        space = transition.space(nvars)
+        if v_start and v_end:
+            # Static 1→1: the whole cube must be ON and singly held.
+            for point in space.minterms():
+                if value(point) is False:
+                    raise HazardFreeError(
+                        f"function hazard: 1→1 transition "
+                        f"{transition.start:0{nvars}b}->{transition.end:0{nvars}b} "
+                        f"crosses an OFF point"
+                    )
+            required.append(space)
+        elif v_start and not v_end:
+            required.extend(
+                _falling_required(transition.start, space, value)
+            )
+            privileged.append(PrivilegedCube(space, transition.start))
+        elif not v_start and v_end:
+            required.extend(
+                _falling_required(transition.end, space, value)
+            )
+            privileged.append(PrivilegedCube(space, transition.end))
+        # 0→0: nothing to do.
+    return _maximal(required), privileged
+
+
+def _falling_required(on_point: int, space: Cube, value) -> list[Cube]:
+    """Maximal ON subcubes [on_point, C] of a dynamic transition.
+
+    These keep the output from falling early: along any change order
+    the output stays 1 while the inputs remain inside one of them.
+    """
+    nvars = space.nvars
+    on_cube = Cube.minterm(on_point, nvars)
+    candidates: list[Cube] = []
+    for point in space.minterms():
+        if value(point) is False:
+            continue
+        candidate = on_cube.supercube(Cube.minterm(point, nvars))
+        if all(value(inner) is not False for inner in candidate.minterms()):
+            candidates.append(candidate)
+    return _maximal(candidates)
+
+
+def _maximal(cubes: Iterable[Cube]) -> list[Cube]:
+    unique = list(dict.fromkeys(cubes))
+    return [
+        c for c in unique if not any(d != c and d.contains(c) for d in unique)
+    ]
+
+
+def is_implicant(cube: Cube, offset: Cover) -> bool:
+    """Implicant of (ON ∪ DC) ⇔ disjoint from every OFF cube."""
+    return not any(cube.intersects(off) for off in offset)
+
+
+def is_dhf_implicant(
+    cube: Cube, offset: Cover, privileged: Sequence[PrivilegedCube]
+) -> bool:
+    if not is_implicant(cube, offset):
+        return False
+    return not any(p.illegally_intersected_by(cube) for p in privileged)
+
+
+def expand_to_dhf_prime(
+    cube: Cube, offset: Cover, privileged: Sequence[PrivilegedCube]
+) -> Cube:
+    """Greedily expand a dhf-implicant to a maximal one (deterministic)."""
+    if not is_dhf_implicant(cube, offset, privileged):
+        raise HazardFreeError(
+            f"cube {cube.to_pattern()} is not a dhf-implicant"
+        )
+    current = cube
+    changed = True
+    while changed:
+        changed = False
+        for var in bit_indices(current.used):
+            candidate = current.expand_var(var)
+            if is_dhf_implicant(candidate, offset, privileged):
+                current = candidate
+                changed = True
+    return current
+
+
+def dhf_prime_implicants(
+    onset: Cover,
+    offset: Cover,
+    privileged: Sequence[PrivilegedCube],
+) -> list[Cube]:
+    """All maximal dhf-implicants (exact engine).
+
+    Standard splitting: a violating prime is replaced by its maximal
+    subcubes pushed off the privileged cube (one extra literal, opposed
+    to the cube's phase, per free variable of the implicant inside the
+    privileged cube's fixed dimensions).
+    """
+    function = offset.complement()  # ON ∪ DC
+    primes = function.all_primes()
+    result: set[Cube] = set()
+    seen: set[Cube] = set()
+    work = list(primes)
+    while work:
+        implicant = work.pop()
+        if implicant in seen:
+            continue
+        seen.add(implicant)
+        violation = None
+        for priv in privileged:
+            if priv.illegally_intersected_by(implicant):
+                violation = priv
+                break
+        if violation is None:
+            result.add(implicant)
+            continue
+        for var in bit_indices(violation.cube.used & implicant.free_vars):
+            bit = 1 << var
+            opposite = 0 if violation.cube.phase & bit else bit
+            child = Cube(
+                implicant.used | bit,
+                (implicant.phase & ~bit) | opposite,
+                implicant.nvars,
+            )
+            if child not in seen:
+                work.append(child)
+    return _maximal(result)
+
+
+#: Beyond this many variables the exact engine is not attempted.
+EXACT_MAX_VARS = 8
+
+
+def minimize_hazard_free(
+    onset: Cover,
+    offset: Cover,
+    transitions: Sequence[TransitionSpec],
+    exact: Optional[bool] = None,
+) -> HazardFreeResult:
+    """Hazard-free two-level minimization.
+
+    ``exact=None`` picks the exact engine for functions of at most
+    ``EXACT_MAX_VARS`` variables and the heuristic otherwise.  Raises
+    :class:`HazardFreeError` when the specification is unrealizable
+    (the Nowick–Dill existence condition fails).
+    """
+    nvars = onset.nvars
+    required, privileged = classify_requirements(onset, offset, transitions)
+    if exact is None:
+        exact = nvars <= EXACT_MAX_VARS
+    if exact:
+        cover = _solve_exact(onset, offset, required, privileged)
+    else:
+        cover = _solve_heuristic(onset, offset, required, privileged)
+    problems = verify_hazard_free_cover(cover, required, privileged)
+    if problems:
+        raise HazardFreeError("; ".join(problems))
+    return HazardFreeResult(cover, required, list(privileged), exact)
+
+
+def _solve_exact(
+    onset: Cover,
+    offset: Cover,
+    required: list[Cube],
+    privileged: list[PrivilegedCube],
+) -> Cover:
+    nvars = onset.nvars
+    dhf = dhf_prime_implicants(onset, offset, privileged)
+    rows: list[set[int]] = []
+    for cube in required:
+        covering = {i for i, p in enumerate(dhf) if p.contains(cube)}
+        if not covering:
+            raise HazardFreeError(
+                f"required cube {cube.to_pattern()} fits in no dhf-prime "
+                "implicant; the transition set is unrealizable in "
+                "hazard-free two-level logic"
+            )
+        rows.append(covering)
+    for point in sorted(onset.minterms()):
+        covering = {i for i, p in enumerate(dhf) if p.contains_point(point)}
+        if not covering:
+            raise HazardFreeError(
+                f"ON point {point:0{nvars}b} uncoverable without an "
+                "illegal intersection"
+            )
+        rows.append(covering)
+    if not rows:
+        return Cover.empty(nvars)
+    costs = [1.0 + p.num_literals * 1e-3 for p in dhf]
+    chosen = CoveringProblem(rows, costs).solve()
+    return Cover([dhf[i] for i in chosen], nvars)
+
+
+def _solve_heuristic(
+    onset: Cover,
+    offset: Cover,
+    required: list[Cube],
+    privileged: list[PrivilegedCube],
+) -> Cover:
+    """Expansion-based engine: hazard-free by construction, not minimum."""
+    nvars = onset.nvars
+    chosen: list[Cube] = []
+
+    def add(cube: Cube) -> None:
+        if not is_dhf_implicant(cube, offset, privileged):
+            raise HazardFreeError(
+                f"cube {cube.to_pattern()} cannot join a hazard-free cover "
+                "(illegal intersection or OFF overlap)"
+            )
+        expanded = expand_to_dhf_prime(cube, offset, privileged)
+        if not any(existing.contains(expanded) for existing in chosen):
+            chosen.append(expanded)
+
+    for cube in required:
+        add(cube)
+    current = Cover(chosen, nvars)
+    for cube in onset:
+        for point in cube.minterms():
+            if not current.evaluate(point):
+                add(Cube.minterm(point, nvars))
+                current = Cover(chosen, nvars)
+    # Drop cubes wholly contained in another chosen cube (safe: both
+    # Nowick–Dill conditions survive deleting a contained duplicate).
+    pruned: list[Cube] = []
+    for i, cube in enumerate(chosen):
+        others = chosen[:i] + chosen[i + 1 :]
+        if any(o.contains(cube) for o in pruned) or any(
+            o.contains(cube) and not cube.contains(o) for o in others
+        ):
+            continue
+        pruned.append(cube)
+    return Cover(pruned, nvars)
+
+
+def verify_hazard_free_cover(
+    cover: Cover,
+    required: Sequence[Cube],
+    privileged: Sequence[PrivilegedCube],
+) -> list[str]:
+    """Independent check of the two Nowick–Dill conditions.
+
+    Returns human-readable violations (empty list = hazard-free for the
+    specified transitions).
+    """
+    problems = []
+    for cube in required:
+        if not cover.single_cube_contains(cube):
+            problems.append(f"required cube {cube.to_pattern()} not singly held")
+    for priv in privileged:
+        for cube in cover:
+            if priv.illegally_intersected_by(cube):
+                problems.append(
+                    f"cube {cube.to_pattern()} illegally intersects "
+                    f"privileged {priv.cube.to_pattern()}"
+                )
+    return problems

@@ -1,0 +1,167 @@
+"""Behavioural simulation of burst-mode machines.
+
+Two interpreters that must agree:
+
+* :class:`SpecSimulator` walks the burst-mode specification directly —
+  the golden model;
+* :class:`ImplementationSimulator` drives a synthesized (or mapped)
+  combinational network in the Figure-1 architecture: apply the input
+  burst, read the output and next-state functions, latch the state.
+
+Used by tests and examples to show the synthesized equations and every
+mapped network implement the specified machine, burst for burst.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Iterable, Optional, Sequence
+
+from ..network.netlist import Netlist
+from .spec import Burst, BurstModeSpec
+from .synth import SynthesisResult
+
+
+@dataclass(frozen=True)
+class MachineStatus:
+    """One stable configuration of a burst-mode machine."""
+
+    state: str
+    inputs: dict[str, bool]
+    outputs: dict[str, bool]
+
+    def __post_init__(self) -> None:  # freeze the dicts' identity
+        object.__setattr__(self, "inputs", dict(self.inputs))
+        object.__setattr__(self, "outputs", dict(self.outputs))
+
+
+class SpecSimulator:
+    """Golden interpreter of a burst-mode specification."""
+
+    def __init__(self, spec: BurstModeSpec) -> None:
+        spec.validate()
+        self.spec = spec
+
+    def reset(self) -> MachineStatus:
+        return MachineStatus(
+            self.spec.initial_state,
+            dict(self.spec.initial_inputs),
+            dict(self.spec.initial_outputs),
+        )
+
+    def enabled_bursts(self, status: MachineStatus) -> list[Burst]:
+        return list(self.spec.transitions.get(status.state, []))
+
+    def fire(self, status: MachineStatus, burst: Burst) -> MachineStatus:
+        if burst not in self.enabled_bursts(status):
+            raise ValueError(f"burst not enabled in state {status.state!r}")
+        inputs = dict(status.inputs)
+        for name in burst.input_changes:
+            inputs[name] = not inputs[name]
+        outputs = dict(status.outputs)
+        for name in burst.output_changes:
+            outputs[name] = not outputs[name]
+        return MachineStatus(burst.next_state, inputs, outputs)
+
+    def random_walk(
+        self, steps: int, seed: int = 0
+    ) -> list[tuple[MachineStatus, Burst]]:
+        """A random trace of (status before, burst fired) pairs."""
+        rng = random.Random(seed)
+        trace = []
+        status = self.reset()
+        for __ in range(steps):
+            bursts = self.enabled_bursts(status)
+            if not bursts:
+                break
+            burst = rng.choice(bursts)
+            trace.append((status, burst))
+            status = self.fire(status, burst)
+        return trace
+
+
+class ImplementationSimulator:
+    """Drives a combinational network as the Figure-1 machine.
+
+    ``netlist`` must expose the synthesis interface: the spec's inputs
+    plus the state lines as primary inputs, and the spec's outputs plus
+    ``<bit>_next`` as primary outputs.  The mapped network from
+    ``async_tmap`` keeps this interface, so both can be checked.
+    """
+
+    def __init__(self, synthesis: SynthesisResult, netlist: Netlist) -> None:
+        self.synthesis = synthesis
+        self.netlist = netlist
+        missing = set(synthesis.variables) - set(netlist.inputs)
+        if missing:
+            raise ValueError(f"network misses machine inputs {sorted(missing)}")
+
+    def evaluate(
+        self, state: str, inputs: dict[str, bool]
+    ) -> tuple[dict[str, bool], int]:
+        """Outputs and next-state code for one stable input vector."""
+        env = dict(inputs)
+        code = self.synthesis.state_codes[state]
+        for i, bit in enumerate(self.synthesis.state_bits):
+            env[bit] = bool(code >> i & 1)
+        values = self.netlist.evaluate(env)
+        outputs = {z: values[z] for z in self.synthesis.spec.outputs}
+        next_code = 0
+        for i, bit in enumerate(self.synthesis.state_bits):
+            if values[f"{bit}_next"]:
+                next_code |= 1 << i
+        return outputs, next_code
+
+    def check_trace(
+        self, trace: Iterable[tuple[MachineStatus, Burst]]
+    ) -> list[str]:
+        """Replay a golden trace; return mismatches (empty = conforms).
+
+        At each step the implementation is evaluated at the burst's
+        *completion* point: outputs must equal the spec's post-burst
+        values and the next-state code must name the successor state.
+        Stability at the entry point (outputs hold, state holds) is
+        checked too.
+        """
+        problems = []
+        codes = self.synthesis.state_codes
+        spec_sim = SpecSimulator(self.synthesis.spec)
+        for status, burst in trace:
+            # Stability at the entry point.
+            outputs, next_code = self.evaluate(status.state, status.inputs)
+            if outputs != status.outputs:
+                problems.append(
+                    f"{status.state}: outputs {outputs} != {status.outputs} at entry"
+                )
+            if next_code != codes[status.state]:
+                problems.append(f"{status.state}: state not stable at entry")
+            # Behaviour at burst completion.
+            after = spec_sim.fire(status, burst)
+            outputs, next_code = self.evaluate(status.state, after.inputs)
+            if outputs != after.outputs:
+                problems.append(
+                    f"{status.state} --{sorted(burst.input_changes)}--> "
+                    f"{after.state}: outputs {outputs} != {after.outputs}"
+                )
+            if next_code != codes[after.state]:
+                problems.append(
+                    f"{status.state} --{sorted(burst.input_changes)}--> "
+                    f"{after.state}: next-state code {next_code} != "
+                    f"{codes[after.state]}"
+                )
+        return problems
+
+
+def conformance_check(
+    synthesis: SynthesisResult,
+    netlist: Optional[Netlist] = None,
+    steps: int = 200,
+    seed: int = 0,
+) -> list[str]:
+    """Random-walk conformance of an implementation against its spec."""
+    implementation = ImplementationSimulator(
+        synthesis, netlist if netlist is not None else synthesis.netlist()
+    )
+    trace = SpecSimulator(synthesis.spec).random_walk(steps, seed)
+    return implementation.check_trace(trace)

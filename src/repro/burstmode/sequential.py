@@ -1,0 +1,176 @@
+"""The complete Figure-1 machine: combinational cloud + storage elements.
+
+The paper's architecture separates the (technology-mapped)
+combinational logic from the latches that hold state, clocked by a
+locally generated strobe once the logic settles.  This module closes
+that loop operationally:
+
+* :class:`SequentialMachine` holds latch state and steps the machine
+  burst by burst, evaluating the combinational network (synthesized or
+  mapped) between bursts;
+* with ``monitor_glitches`` every burst is additionally run through the
+  event-driven timing simulator under randomized gate delays, so any
+  output glitch during fundamental-mode operation is caught in the act
+  — the dynamic counterpart of the static hazard proofs.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from ..network.eventsim import EventSimulator, burst_response
+from ..network.netlist import Netlist
+from .machine import SpecSimulator
+from .spec import Burst
+from .synth import SynthesisResult
+
+
+@dataclass
+class StepResult:
+    """Outcome of one burst step."""
+
+    state: str
+    inputs: dict[str, bool]
+    outputs: dict[str, bool]
+    glitched_outputs: list[str] = field(default_factory=list)
+
+
+class SequentialMachine:
+    """Operational model of a mapped burst-mode controller."""
+
+    def __init__(
+        self,
+        synthesis: SynthesisResult,
+        netlist: Optional[Netlist] = None,
+        monitor_glitches: bool = False,
+        glitch_trials: int = 5,
+        seed: int = 0,
+    ) -> None:
+        self.synthesis = synthesis
+        self.netlist = netlist if netlist is not None else synthesis.netlist()
+        self.monitor_glitches = monitor_glitches
+        self.glitch_trials = glitch_trials
+        self._rng = random.Random(seed)
+        self._spec_sim = SpecSimulator(synthesis.spec)
+        self.reset()
+
+    def reset(self) -> None:
+        status = self._spec_sim.reset()
+        self.state = status.state
+        self.inputs = dict(status.inputs)
+        self.outputs = dict(status.outputs)
+        self.history: list[StepResult] = []
+
+    # ------------------------------------------------------------------
+    # Stepping
+    # ------------------------------------------------------------------
+    def enabled_bursts(self) -> list[Burst]:
+        return self._spec_sim.spec.transitions.get(self.state, [])
+
+    def _environment(self, inputs: dict[str, bool]) -> dict[str, bool]:
+        env = dict(inputs)
+        code = self.synthesis.state_codes[self.state]
+        for i, bit in enumerate(self.synthesis.state_bits):
+            env[bit] = bool(code >> i & 1)
+        return env
+
+    def step(self, burst: Burst) -> StepResult:
+        """Apply one input burst; settle; latch the next state."""
+        if burst not in self.enabled_bursts():
+            raise ValueError(f"burst not enabled in state {self.state!r}")
+        start_env = self._environment(self.inputs)
+        new_inputs = dict(self.inputs)
+        for name in burst.input_changes:
+            new_inputs[name] = not new_inputs[name]
+        end_env = self._environment(new_inputs)
+
+        glitched: list[str] = []
+        if self.monitor_glitches:
+            glitched = self._watch_burst(start_env, end_env)
+
+        settled = self.netlist.evaluate(end_env)
+        outputs = {z: settled[z] for z in self.synthesis.spec.outputs}
+        next_code = 0
+        for i, bit in enumerate(self.synthesis.state_bits):
+            if settled[f"{bit}_next"]:
+                next_code |= 1 << i
+        next_state = None
+        for name, code in self.synthesis.state_codes.items():
+            if code == next_code:
+                next_state = name
+                break
+        if next_state is None:
+            raise RuntimeError(f"network latched unknown state code {next_code}")
+
+        self.state = next_state
+        self.inputs = new_inputs
+        self.outputs = outputs
+        result = StepResult(next_state, dict(new_inputs), dict(outputs), glitched)
+        self.history.append(result)
+        return result
+
+    def _watch_burst(
+        self, start_env: dict[str, bool], end_env: dict[str, bool]
+    ) -> list[str]:
+        """Timing-simulate the burst; report outputs that glitch."""
+        start_values = self.netlist.evaluate(start_env)
+        end_values = self.netlist.evaluate(end_env)
+        glitched: set[str] = set()
+        watched = list(self.synthesis.spec.outputs) + [
+            f"{bit}_next" for bit in self.synthesis.state_bits
+        ]
+        for __ in range(self.glitch_trials):
+            simulator = EventSimulator.with_random_delays(
+                self.netlist, seed=self._rng.randrange(1 << 30)
+            )
+            waves = burst_response(
+                simulator, start_env, end_env, seed=self._rng.randrange(1 << 30)
+            )
+            for name in watched:
+                expected = int(start_values[name] != end_values[name])
+                if waves[name].glitched(expected):
+                    glitched.add(name)
+        return sorted(glitched)
+
+    # ------------------------------------------------------------------
+    # Whole-run drivers
+    # ------------------------------------------------------------------
+    def run_random(self, steps: int, seed: int = 0) -> list[StepResult]:
+        rng = random.Random(seed)
+        results = []
+        for __ in range(steps):
+            bursts = self.enabled_bursts()
+            if not bursts:
+                break
+            results.append(self.step(rng.choice(bursts)))
+        return results
+
+    def conforms(self, steps: int = 100, seed: int = 0) -> list[str]:
+        """Run both models side by side; return mismatch descriptions."""
+        problems: list[str] = []
+        golden = self._spec_sim.reset()
+        self.reset()
+        rng = random.Random(seed)
+        for step_index in range(steps):
+            bursts = self._spec_sim.enabled_bursts(golden)
+            if not bursts:
+                break
+            burst = rng.choice(bursts)
+            golden = self._spec_sim.fire(golden, burst)
+            actual = self.step(burst)
+            if actual.state != golden.state:
+                problems.append(
+                    f"step {step_index}: state {actual.state} != {golden.state}"
+                )
+            if actual.outputs != golden.outputs:
+                problems.append(
+                    f"step {step_index}: outputs {actual.outputs} != "
+                    f"{golden.outputs}"
+                )
+            if actual.glitched_outputs:
+                problems.append(
+                    f"step {step_index}: glitches on {actual.glitched_outputs}"
+                )
+        return problems

@@ -1,0 +1,173 @@
+"""Burst-mode specifications (Figure 1 of the paper).
+
+A burst-mode machine sits in a state until a complete *input burst* — a
+non-empty set of input changes, arriving in any order — has occurred,
+then emits an *output burst* and moves to a next state.  The generalized
+fundamental-mode assumption says the combinational logic settles before
+the next burst begins, but no hazard may appear *during* a burst.
+
+The synthesis path (:mod:`repro.burstmode.synth`) turns a specification
+into hazard-free two-level equations for the architecture of Figure 1:
+combinational next-state/output logic plus separate storage elements.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping, Optional, Sequence
+
+
+@dataclass(frozen=True)
+class Burst:
+    """One specified transition of a burst-mode machine.
+
+    ``input_changes`` — names of inputs that toggle (in any order);
+    ``output_changes`` — names of outputs that toggle once the burst
+    completes; ``next_state`` — successor state name.
+    """
+
+    input_changes: frozenset[str]
+    output_changes: frozenset[str]
+    next_state: str
+
+    @classmethod
+    def make(
+        cls,
+        inputs: Iterable[str],
+        outputs: Iterable[str],
+        next_state: str,
+    ) -> "Burst":
+        changes = frozenset(inputs)
+        if not changes:
+            raise SpecError("input burst must be non-empty")
+        return cls(changes, frozenset(outputs), next_state)
+
+
+class SpecError(Exception):
+    """Raised for malformed burst-mode specifications."""
+
+
+@dataclass
+class BurstModeSpec:
+    """A complete burst-mode state machine.
+
+    ``transitions[state]`` lists the bursts leaving ``state``.  The
+    machine starts in ``initial_state`` with input/output values
+    ``initial_inputs`` / ``initial_outputs``.
+    """
+
+    name: str
+    inputs: list[str]
+    outputs: list[str]
+    initial_state: str
+    transitions: dict[str, list[Burst]] = field(default_factory=dict)
+    initial_inputs: dict[str, bool] = field(default_factory=dict)
+    initial_outputs: dict[str, bool] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        for name in self.inputs:
+            self.initial_inputs.setdefault(name, False)
+        for name in self.outputs:
+            self.initial_outputs.setdefault(name, False)
+
+    # ------------------------------------------------------------------
+    # Structure
+    # ------------------------------------------------------------------
+    @property
+    def states(self) -> list[str]:
+        names: list[str] = []
+        for state, bursts in self.transitions.items():
+            if state not in names:
+                names.append(state)
+            for burst in bursts:
+                if burst.next_state not in names:
+                    names.append(burst.next_state)
+        if self.initial_state not in names:
+            names.insert(0, self.initial_state)
+        return names
+
+    def add_transition(
+        self,
+        state: str,
+        input_changes: Iterable[str],
+        output_changes: Iterable[str],
+        next_state: str,
+    ) -> None:
+        burst = Burst.make(input_changes, output_changes, next_state)
+        for name in burst.input_changes:
+            if name not in self.inputs:
+                raise SpecError(f"unknown input {name!r}")
+        for name in burst.output_changes:
+            if name not in self.outputs:
+                raise SpecError(f"unknown output {name!r}")
+        self.transitions.setdefault(state, []).append(burst)
+
+    # ------------------------------------------------------------------
+    # Validity
+    # ------------------------------------------------------------------
+    def validate(self) -> None:
+        """Check the burst-mode rules.
+
+        * every transition references known signals;
+        * *maximal set property*: no input burst leaving a state is a
+          subset of another leaving the same state (otherwise the
+          machine could fire early);
+        * reachability of every state with consistent entry values.
+        """
+        for state, bursts in self.transitions.items():
+            for i, a in enumerate(bursts):
+                for b in bursts[i + 1 :]:
+                    if a.input_changes <= b.input_changes:
+                        raise SpecError(
+                            f"state {state}: burst {sorted(a.input_changes)} is a "
+                            f"subset of {sorted(b.input_changes)}"
+                        )
+                    if b.input_changes <= a.input_changes:
+                        raise SpecError(
+                            f"state {state}: burst {sorted(b.input_changes)} is a "
+                            f"subset of {sorted(a.input_changes)}"
+                        )
+        self.trace_entry_points()
+
+    def trace_entry_points(
+        self,
+    ) -> dict[str, tuple[dict[str, bool], dict[str, bool]]]:
+        """Input/output values on entry to each reachable state.
+
+        Burst-mode machines require a unique entry point per state; a
+        conflict (two paths entering a state with different values)
+        raises :class:`SpecError`.
+        """
+        entry: dict[str, tuple[dict[str, bool], dict[str, bool]]] = {
+            self.initial_state: (dict(self.initial_inputs), dict(self.initial_outputs))
+        }
+        frontier = [self.initial_state]
+        while frontier:
+            state = frontier.pop()
+            in_values, out_values = entry[state]
+            for burst in self.transitions.get(state, []):
+                new_in = dict(in_values)
+                for name in burst.input_changes:
+                    new_in[name] = not new_in[name]
+                new_out = dict(out_values)
+                for name in burst.output_changes:
+                    new_out[name] = not new_out[name]
+                successor = burst.next_state
+                if successor in entry:
+                    old_in, old_out = entry[successor]
+                    if old_in != new_in or old_out != new_out:
+                        raise SpecError(
+                            f"state {successor} entered with inconsistent values"
+                        )
+                else:
+                    entry[successor] = (new_in, new_out)
+                    frontier.append(successor)
+        return entry
+
+    def stats(self) -> dict[str, int]:
+        return {
+            "states": len(self.states),
+            "inputs": len(self.inputs),
+            "outputs": len(self.outputs),
+            "transitions": sum(len(b) for b in self.transitions.values()),
+        }

@@ -1,0 +1,183 @@
+"""Burst-mode synthesis to hazard-free two-level equations.
+
+A simplified locally-clocked-style flow (the paper's reference [19],
+architecture per Figure 1): state is held in storage elements whose
+update the local clock isolates, so the combinational next-state and
+output logic must be hazard-free exactly for the *input bursts*, during
+which the state lines are constant.
+
+Per function the flow builds an incompletely specified Boolean function
+over (inputs + state lines) whose care set is the union of specified
+transition cubes, derives the transition list, and runs the exact
+hazard-free minimizer of :mod:`repro.burstmode.hfmin`.  The result is a
+set of hazard-free SOP equations — precisely the technology-independent
+description the asynchronous technology mapper takes as input.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..boolean.cover import Cover
+from ..boolean.cube import Cube
+from ..network.netlist import Netlist, cover_to_expr
+from .hfmin import (
+    HazardFreeError,
+    HazardFreeResult,
+    TransitionSpec,
+    minimize_hazard_free,
+)
+from .spec import BurstModeSpec, SpecError
+
+
+@dataclass
+class SynthesisResult:
+    """Hazard-free equations plus the artifacts behind them."""
+
+    spec: BurstModeSpec
+    variables: list[str]
+    state_bits: list[str]
+    state_codes: dict[str, int]
+    equations: dict[str, Cover]
+    transitions: dict[str, list[TransitionSpec]]
+    details: dict[str, HazardFreeResult] = field(default_factory=dict)
+
+    def netlist(self, name: Optional[str] = None) -> Netlist:
+        """The combinational cloud as a technology-independent network.
+
+        State lines appear as primary inputs (they come back from the
+        latches); next-state functions as primary outputs.
+        """
+        net = Netlist(name or self.spec.name)
+        for variable in self.variables:
+            net.add_input(variable)
+        for target, cover in self.equations.items():
+            gate = net.add_gate(
+                f"{target}__logic", cover_to_expr(cover, self.variables)
+            )
+            net.add_output(target, gate)
+        return net
+
+    def total_literals(self) -> int:
+        return sum(cover.num_literals() for cover in self.equations.values())
+
+    def total_cubes(self) -> int:
+        return sum(len(cover) for cover in self.equations.values())
+
+
+def synthesize(spec: BurstModeSpec) -> SynthesisResult:
+    """Synthesize hazard-free next-state/output equations for a spec."""
+    spec.validate()
+    entry = spec.trace_entry_points()
+    states = [s for s in spec.states if s in entry]  # reachable, stable order
+    num_state_bits = max(1, math.ceil(math.log2(max(len(states), 2))))
+    state_bits = [f"y{i}" for i in range(num_state_bits)]
+    state_codes = {state: i for i, state in enumerate(states)}
+
+    variables = list(spec.inputs) + state_bits
+    nvars = len(variables)
+    index = {name: i for i, name in enumerate(variables)}
+
+    def full_point(input_values: dict[str, bool], state: str) -> int:
+        point = 0
+        for name, value in input_values.items():
+            if value:
+                point |= 1 << index[name]
+        code = state_codes[state]
+        for i, bit_name in enumerate(state_bits):
+            if code >> i & 1:
+                point |= 1 << index[bit_name]
+        return point
+
+    targets = list(spec.outputs) + [f"{bit}_next" for bit in state_bits]
+
+    onsets: dict[str, list[Cube]] = {t: [] for t in targets}
+    offsets: dict[str, list[Cube]] = {t: [] for t in targets}
+    transition_lists: dict[str, list[TransitionSpec]] = {t: [] for t in targets}
+
+    def record_transition(
+        target: str,
+        start_point: int,
+        end_point: int,
+        space: Cube,
+        start_value: bool,
+        end_value: bool,
+    ) -> None:
+        """Record the mid-burst requirement: hold the entry value at
+        every point of the transition space except the completed burst.
+
+        Cube-level bookkeeping (rather than per-minterm) keeps prime
+        generation tractable for wide bursts.
+        """
+        end_cube = Cube.minterm(end_point, nvars)
+        if start_value == end_value:
+            bucket = onsets[target] if start_value else offsets[target]
+            bucket.append(space)
+            return
+        # Dynamic: constant at start_value except the end point.  The
+        # complement of a point within a cube: fix one changing
+        # variable at its start-side value.
+        hold = onsets[target] if start_value else offsets[target]
+        flip = offsets[target] if start_value else onsets[target]
+        from ..boolean.cube import bit_indices as _bits
+
+        changing = start_point ^ end_point
+        for var in _bits(changing):
+            bit = 1 << var
+            phase = space.phase | (start_point & bit)
+            hold.append(Cube(space.used | bit, phase, nvars))
+        flip.append(end_cube)
+
+    for state, (in_values, out_values) in entry.items():
+        start_point = full_point(in_values, state)
+        code = state_codes[state]
+        for burst in spec.transitions.get(state, []):
+            end_values = dict(in_values)
+            for name in burst.input_changes:
+                end_values[name] = not end_values[name]
+            end_point = full_point(end_values, state)
+            space = Cube.minterm(start_point, nvars).supercube(
+                Cube.minterm(end_point, nvars)
+            )
+            next_code = state_codes[burst.next_state]
+            for target in targets:
+                if target in spec.outputs:
+                    start_value = out_values[target]
+                    end_value = start_value ^ (target in burst.output_changes)
+                else:
+                    bit = state_bits.index(target[: -len("_next")])
+                    start_value = bool(code >> bit & 1)
+                    end_value = bool(next_code >> bit & 1)
+                record_transition(
+                    target, start_point, end_point, space, start_value, end_value
+                )
+                transition_lists[target].append(
+                    TransitionSpec(start_point, end_point)
+                )
+
+    equations: dict[str, Cover] = {}
+    details: dict[str, HazardFreeResult] = {}
+    for target in targets:
+        onset = Cover(onsets[target], nvars).dedup()
+        offset = Cover(offsets[target], nvars).dedup()
+        conflict = onset.intersect(offset)
+        if conflict.cubes:
+            raise SpecError(
+                f"conflicting requirements for {target} over "
+                f"{conflict.cubes[0].to_pattern()}"
+            )
+        result = minimize_hazard_free(onset, offset, transition_lists[target])
+        equations[target] = result.cover
+        details[target] = result
+
+    return SynthesisResult(
+        spec=spec,
+        variables=variables,
+        state_bits=state_bits,
+        state_codes=state_codes,
+        equations=equations,
+        transitions=transition_lists,
+        details=details,
+    )

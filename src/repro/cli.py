@@ -1,0 +1,194 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands mirror the paper's workflows:
+
+* ``census``  — Table-1-style hazard census of the standard libraries;
+* ``audit``   — per-cell hazard records of one library;
+* ``map``     — map a benchmark (or an equation/BLIF file) onto a
+  library with the sync or async mapper, optionally with hazard
+  don't-cares, and verify the result;
+* ``bench``   — list the benchmark catalog.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from .burstmode.benchmarks import CATALOG, synthesize_benchmark
+from .library.standard import ALL_LIBRARIES, load_library
+from .mapping.dontcare import synthesis_bursts
+from .mapping.mapper import MappingOptions, async_tmap, tmap
+from .mapping.verify import verify_mapping
+from .reporting import render_table
+
+
+def _cmd_census(args: argparse.Namespace) -> int:
+    rows = []
+    for name in ALL_LIBRARIES:
+        library = load_library(name)
+        report = library.annotate_hazards()
+        census = library.census()
+        rows.append(
+            (
+                name,
+                ",".join(census["hazardous_families"]) or "none",
+                census["hazardous"],
+                census["total"],
+                f"{census['percent']}%",
+                f"{report.elapsed:.2f}s",
+            )
+        )
+    print(
+        render_table(
+            ["Library", "Families", "#", "Total", "%", "Annotation"],
+            rows,
+            title="Hazard census (paper Table 1)",
+        )
+    )
+    return 0
+
+
+def _cmd_audit(args: argparse.Namespace) -> int:
+    library = load_library(args.library)
+    report = library.annotate_hazards()
+    print(
+        f"{library.name}: {report.cells} cells, {report.hazardous} hazardous "
+        f"({report.hazardous_fraction:.0%}), annotated in {report.elapsed:.2f}s"
+    )
+    for cell in library.hazardous_cells():
+        assert cell.analysis is not None
+        print(f"\n{cell.name}: {cell.expression.to_string()}")
+        for line in cell.analysis.describe():
+            print(f"  {line}")
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    rows = []
+    for name, info in CATALOG.items():
+        synthesis = synthesize_benchmark(name)
+        stats = synthesis.spec.stats()
+        rows.append(
+            (
+                name,
+                info.description,
+                stats["states"],
+                stats["transitions"],
+                synthesis.total_literals(),
+            )
+        )
+    print(
+        render_table(
+            ["Benchmark", "Description", "States", "Bursts", "Literals"],
+            rows,
+            title="Benchmark catalog (paper Table 5)",
+        )
+    )
+    return 0
+
+
+def _cmd_map(args: argparse.Namespace) -> int:
+    if args.design in CATALOG:
+        synthesis = synthesize_benchmark(args.design)
+        network = synthesis.netlist(args.design)
+    else:
+        from .io import read_blif, read_equations
+
+        with open(args.design) as handle:
+            if args.design.endswith(".blif"):
+                network = read_blif(handle)
+            else:
+                network = read_equations(handle)
+        synthesis = None
+
+    library = load_library(args.library)
+    if not library.annotated:
+        library.annotate_hazards()
+
+    options = MappingOptions(max_depth=args.depth, objective=args.objective)
+    if args.dont_cares:
+        if synthesis is None:
+            print("--dont-cares requires a catalog benchmark", file=sys.stderr)
+            return 2
+        options.input_bursts = synthesis_bursts(synthesis)
+
+    mapper = tmap if args.sync else async_tmap
+    result = mapper(network, library, options)
+    print(
+        f"{result.mode} mapping of {network.name} onto {library.name}: "
+        f"area={result.area:.0f} delay={result.delay:.2f} "
+        f"cpu={result.elapsed:.2f}s"
+    )
+    print(f"cells: {result.cell_usage()}")
+    if result.stats.hazardous_matches:
+        print(
+            f"hazard filter: {result.stats.hazardous_matches} screened, "
+            f"{result.stats.hazard_rejections} rejected, "
+            f"{result.stats.hazard_accepts} accepted, "
+            f"{result.stats.dc_waivers} waived by don't-cares"
+        )
+    if args.verify:
+        report = verify_mapping(network, result.mapped)
+        print(
+            f"verification: equivalent={report.equivalent} "
+            f"hazard_safe={report.hazard_safe}"
+        )
+        for violation in report.violations[:5]:
+            print(f"  ! {violation}")
+        if not report.ok:
+            return 1
+    if args.output:
+        from .io import write_blif
+
+        with open(args.output, "w") as handle:
+            write_blif(result.mapped, handle)
+        print(f"mapped network written to {args.output}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Hazard-aware technology mapping (Siegel/De Micheli/Dill, DAC'93)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("census", help="Table-1 hazard census").set_defaults(
+        func=_cmd_census
+    )
+
+    audit = sub.add_parser("audit", help="per-cell hazard audit of a library")
+    audit.add_argument("library", choices=sorted(ALL_LIBRARIES))
+    audit.set_defaults(func=_cmd_audit)
+
+    sub.add_parser("bench", help="list the benchmark catalog").set_defaults(
+        func=_cmd_bench
+    )
+
+    map_cmd = sub.add_parser("map", help="map a design onto a library")
+    map_cmd.add_argument("design", help="catalog benchmark, .eqn, or .blif file")
+    map_cmd.add_argument("library", choices=sorted(ALL_LIBRARIES))
+    map_cmd.add_argument("--sync", action="store_true", help="use the sync baseline")
+    map_cmd.add_argument("--depth", type=int, default=5)
+    map_cmd.add_argument("--objective", choices=["area", "delay"], default="area")
+    map_cmd.add_argument(
+        "--dont-cares",
+        action="store_true",
+        help="waive hazards outside the specified bursts (section 6)",
+    )
+    map_cmd.add_argument("--verify", action="store_true")
+    map_cmd.add_argument("--output", help="write the mapped network as BLIF")
+    map_cmd.set_defaults(func=_cmd_map)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    raise SystemExit(main())

@@ -1,0 +1,128 @@
+"""Hazard-removal transformations.
+
+Section 4 notes the analysis algorithms "can also be extended to
+hazard-removal algorithms"; this module provides the three practical
+removals, each built on machinery already validated elsewhere:
+
+* :func:`remove_static1` — add the missing consensus/prime cubes until
+  no static-1 hazard remains, never touching existing gates (safe for
+  every other hazard class: adding a gate that holds 1 through a 1-1
+  transition cannot create new glitches of its own if it is an
+  implicant, *except* new cube intersections, which are re-checked);
+* :func:`remove_vacuous` — flatten a multilevel structure to plain SOP,
+  eliminating every static-0 and s.i.c. dynamic hazard (two-level
+  AND-OR logic has neither) at the price of possibly more gates;
+* :func:`make_hazard_free_for` — the strongest tool: given the
+  transitions that actually matter (the burst-mode don't-care view),
+  re-synthesize a cover that is provably hazard-free for all of them
+  via the Nowick–Dill conditions.  Raises when unrealizable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from ..boolean.cover import Cover
+from ..boolean.cube import Cube
+from ..boolean.expr import Expr
+from ..boolean.paths import label_expression
+from ..burstmode.hfmin import (
+    HazardFreeError,
+    TransitionSpec,
+    minimize_hazard_free,
+)
+from .analyzer import analyze_cover
+from .static1 import find_static1_hazards_complete, has_static1_hazard
+
+
+@dataclass
+class RemovalReport:
+    """What a removal pass changed."""
+
+    added_cubes: list[Cube]
+    before_static1: int
+    after_static1: int
+    before_dynamic: int
+    after_dynamic: int
+
+    @property
+    def clean(self) -> bool:
+        return self.after_static1 == 0
+
+
+def remove_static1(cover: Cover, max_rounds: int = 64) -> tuple[Cover, RemovalReport]:
+    """Add uncovered primes until the cover is static-1 hazard-free.
+
+    Keeps every original cube (deleting a gate could introduce other
+    hazards); the additions are prime implicants, so the function is
+    unchanged.  Returns the repaired cover and an accounting report.
+    """
+    before = analyze_cover(cover)
+    current = cover
+    added: list[Cube] = []
+    for __ in range(max_rounds):
+        missing = [
+            h.transition
+            for h in find_static1_hazards_complete(current)
+        ]
+        if not missing:
+            after = analyze_cover(current)
+            return current, RemovalReport(
+                added_cubes=added,
+                before_static1=len(before.static1),
+                after_static1=0,
+                before_dynamic=len(before.mic_dynamic),
+                after_dynamic=len(after.mic_dynamic),
+            )
+        cube = missing[0]
+        current = current.with_cube(cube)
+        added.append(cube)
+    raise RuntimeError("static-1 removal did not converge")
+
+
+def remove_vacuous(expr: Expr, names: Optional[Sequence[str]] = None) -> Cover:
+    """Flatten to plain SOP: no vacuous terms remain.
+
+    Two-level AND-OR logic has no static-0 and no s.i.c. dynamic logic
+    hazards, so both classes vanish; static-1 behaviour is preserved
+    exactly (Unger Theorem 4.3).  M.i.c. dynamic hazards may increase —
+    flattening decorrelates shared paths — so callers wanting full
+    hazard control should continue with :func:`make_hazard_free_for`.
+    """
+    lsop = label_expression(expr, names)
+    return lsop.plain_cover()
+
+
+def make_hazard_free_for(
+    cover: Cover,
+    transitions: Sequence[tuple[int, int]],
+    exact: Optional[bool] = None,
+) -> Cover:
+    """Re-synthesize the function hazard-free for the given transitions.
+
+    ``transitions`` are (start, end) point pairs — the machine's
+    specified bursts.  The result holds every required cube in a single
+    gate and intersects no privileged cube illegally (the Nowick–Dill
+    conditions), hence carries no logic hazard for any listed
+    transition.  Raises :class:`HazardFreeError` when the set is
+    unrealizable in two-level logic.
+    """
+    offset = cover.complement()
+    specs = [TransitionSpec(start, end) for start, end in transitions]
+    result = minimize_hazard_free(cover, offset, specs, exact=exact)
+    return result.cover
+
+
+def repair_summary(original: Cover, repaired: Cover) -> dict[str, int]:
+    """Quick before/after hazard accounting for reports and tests."""
+    before = analyze_cover(original)
+    after = analyze_cover(repaired)
+    return {
+        "static1_before": len(before.static1),
+        "static1_after": len(after.static1),
+        "dynamic_before": len(before.mic_dynamic),
+        "dynamic_after": len(after.mic_dynamic),
+        "cubes_before": len(original),
+        "cubes_after": len(repaired),
+    }

@@ -1,0 +1,98 @@
+"""Single-input-change dynamic logic hazard analysis (paper §4.2.3).
+
+A s.i.c. dynamic hazard is present whenever a variable appears within a
+product term of the path-labelled SOP in both its complemented and
+uncomplemented forms (a vacuous term) and the remaining variables of
+the term can be held true while the overall output makes a dynamic
+(0→1 or 1→0) transition on that variable: the vacuous term can pulse
+once mid-transition, turning the single expected output change into a
+triple change.
+
+As with static-0 analysis, the algebraic condition (residual true ∧
+``f(v=0) ≠ f(v=1)``) is a *candidate* filter: a pulse is masked when a
+product sharing the raising path holds the output through it.  Each
+candidate point is therefore confirmed on the event lattice, which is
+tiny here (only one variable's paths switch) — the result is exact.
+"""
+
+from __future__ import annotations
+
+from ..boolean.cover import Cover
+from ..boolean.cube import Cube
+from ..boolean.paths import LabeledSop
+from .types import SicDynamicHazard
+
+
+def _candidate_conditions(lsop: LabeledSop) -> dict[int, list[tuple[Cube, Cover]]]:
+    plain = lsop.plain_cover()
+    nvars = lsop.nvars
+    result: dict[int, list[tuple[Cube, Cover]]] = {}
+    seen: set[tuple[int, Cube]] = set()
+    for product in lsop.vacuous_products():
+        for name in sorted(product.vacuous_variables()):
+            var = lsop.index[name]
+            residual = product.residual_cube((name,), lsop.index, nvars)
+            if residual is None:
+                continue
+            key = (var, residual)
+            if key in seen:
+                continue
+            seen.add(key)
+            on_low = plain.cofactor_var(var, False)
+            on_high = plain.cofactor_var(var, True)
+            toggling = on_low.xor(on_high)
+            condition = Cover([residual], nvars).intersect(toggling)
+            if condition.cubes:
+                result.setdefault(var, []).append((residual, condition))
+    return result
+
+
+def find_sic_dynamic_hazards(lsop: LabeledSop) -> list[SicDynamicHazard]:
+    """All s.i.c. dynamic logic hazards, one record per variable.
+
+    The record's ``condition`` holds exactly the confirmed surrounding
+    points (the changing variable left free: both endpoint minterms of
+    each confirmed transition are included).
+    """
+    from .multilevel import transition_has_hazard  # cycle-free at runtime
+
+    nvars = lsop.nvars
+    hazards: list[SicDynamicHazard] = []
+    for var, candidates in sorted(_candidate_conditions(lsop).items()):
+        bit = 1 << var
+        confirmed: set[int] = set()
+        checked: set[int] = set()
+        for __, condition in candidates:
+            for cube in condition:
+                for point in cube.minterms():
+                    low = point & ~bit
+                    if low in checked:
+                        continue
+                    checked.add(low)
+                    if transition_has_hazard(
+                        lsop, low, low | bit
+                    ) or transition_has_hazard(lsop, low | bit, low):
+                        confirmed.add(low)
+                        confirmed.add(low | bit)
+        if confirmed:
+            hazards.append(
+                SicDynamicHazard(
+                    var,
+                    candidates[0][0],
+                    Cover.from_minterms(sorted(confirmed), nvars),
+                )
+            )
+    return hazards
+
+
+def exhibits_sic_dynamic(lsop: LabeledSop, var: int, condition: Cover) -> bool:
+    """Matching-filter predicate: can the implementation pulse during a
+    dynamic s.i.c. of ``var`` at every point of ``condition``?"""
+    own = find_sic_dynamic_hazards(lsop)
+    pulses = [h.condition for h in own if h.var == var]
+    if not pulses:
+        return False
+    union = Cover.empty(lsop.nvars)
+    for cover in pulses:
+        union = union.union(cover)
+    return union.contains_cover(condition)

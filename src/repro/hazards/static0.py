@@ -1,0 +1,113 @@
+"""Static-0 logic hazard analysis (paper section 4.1.2).
+
+Static-0 hazards arise from *vacuous terms*: products of the
+path-labelled SOP that contain a variable and its complement through
+different reconvergent paths (e.g. ``x#0·x#1'·r``).  In steady state
+such a term contributes nothing, but while ``x`` is in transit the two
+paths can briefly both read true, pulsing the term — and the output —
+high although the function is 0 on both sides of the change.
+
+Detection (a subset of the s.i.c. dynamic detection, as the paper
+notes) proceeds in two stages:
+
+1. *candidates*: for each vacuous term with unifiable residual ``r``,
+   the points where ``r`` holds and the function is 0 for both values
+   of the reconverging variable;
+2. *confirmation*: each candidate point is replayed on the event
+   lattice — a pulse can be masked when another product shares the very
+   path that raises it (the masking product then holds the output
+   through the would-be glitch), so the algebraic condition alone
+   over-approximates.
+
+Only one variable's paths switch, so the lattice is tiny and the
+confirmed result is exact.
+"""
+
+from __future__ import annotations
+
+from ..boolean.cover import Cover
+from ..boolean.cube import Cube
+from ..boolean.paths import LabeledSop
+from .types import Static0Hazard
+
+
+def _candidate_conditions(lsop: LabeledSop) -> dict[int, list[tuple[Cube, Cover]]]:
+    """Per variable: (residual, algebraic sensitization condition)."""
+    plain = lsop.plain_cover()
+    complement = plain.complement()
+    nvars = lsop.nvars
+    result: dict[int, list[tuple[Cube, Cover]]] = {}
+    seen: set[tuple[int, Cube]] = set()
+    for product in lsop.vacuous_products():
+        for name in sorted(product.vacuous_variables()):
+            var = lsop.index[name]
+            residual = product.residual_cube((name,), lsop.index, nvars)
+            if residual is None:
+                # Vacuous in a second variable too: with that variable
+                # fixed the term can never turn on through this one.
+                continue
+            key = (var, residual)
+            if key in seen:
+                continue
+            seen.add(key)
+            off_low = complement.cofactor_var(var, False)
+            off_high = complement.cofactor_var(var, True)
+            condition = (
+                Cover([residual], nvars).intersect(off_low).intersect(off_high)
+            )
+            if condition.cubes:
+                result.setdefault(var, []).append((residual, condition))
+    return result
+
+
+def find_static0_hazards(lsop: LabeledSop) -> list[Static0Hazard]:
+    """All static-0 logic hazards, one record per reconverging variable.
+
+    The record's ``condition`` holds exactly the confirmed sensitizing
+    points (with the changing variable free).
+    """
+    from .multilevel import transition_has_hazard  # cycle-free at runtime
+
+    nvars = lsop.nvars
+    hazards: list[Static0Hazard] = []
+    for var, candidates in sorted(_candidate_conditions(lsop).items()):
+        bit = 1 << var
+        confirmed: set[int] = set()
+        checked: set[int] = set()
+        for __, condition in candidates:
+            for cube in condition:
+                for point in cube.minterms():
+                    low = point & ~bit
+                    if low in checked:
+                        continue
+                    checked.add(low)
+                    if transition_has_hazard(lsop, low, low | bit):
+                        confirmed.add(low)
+                        confirmed.add(low | bit)
+        if confirmed:
+            hazards.append(
+                Static0Hazard(
+                    var,
+                    candidates[0][0],
+                    Cover.from_minterms(sorted(confirmed), nvars),
+                )
+            )
+    return hazards
+
+
+def exhibits_static0(lsop: LabeledSop, var: int, condition: Cover) -> bool:
+    """Does the implementation glitch low→high→low at *every* point of
+    ``condition`` while ``var`` changes?
+
+    Used by the matching filter: a library cell's static-0 hazard is
+    present in the subnetwork iff the subnetwork can pulse at each
+    sensitizing point of the cell's hazard.
+    """
+    own = find_static0_hazards(lsop)
+    pulses = [h.condition for h in own if h.var == var]
+    if not pulses:
+        return False
+    union = Cover.empty(lsop.nvars)
+    for cover in pulses:
+        union = union.union(cover)
+    return union.contains_cover(condition)

@@ -1,0 +1,122 @@
+"""Static-1 logic hazard analysis (paper section 4.1.1).
+
+A static-1 logic hazard exists for a transition α→β with f ≡ 1 over the
+transition space exactly when no single implementation cube contains the
+whole space — momentarily every AND gate can be off.
+
+``find_static1_hazards`` is the paper's bit-vector algorithm: expand
+non-prime cubes (flagging missing primes), generate all cube adjacencies
+with the CONFLICTS trick, and flag every adjacency cube that is not
+contained in a single implementation cube.
+
+``find_static1_hazards_complete`` is the exhaustive characterization —
+the *uncovered prime implicants*.  Because "covered by one cube" is
+monotone under cube containment, the set of hazardous transition
+subcubes is upward closed within the implicants of f, so a hazard exists
+iff some prime is uncovered; the uncovered primes are the maximal
+hazardous transitions.  The test-suite cross-checks both detectors.
+"""
+
+from __future__ import annotations
+
+from ..boolean.cover import Cover
+from ..boolean.cube import Cube
+from .types import Static1Hazard
+
+
+def find_static1_hazards(cover: Cover) -> list[Static1Hazard]:
+    """The paper's ``static_1_analysis`` procedure.
+
+    Works on the (deduplicated) SOP implementation.  Returns hazard
+    records whose ``transition`` cubes are ON-set subcubes not held by
+    any single gate.
+    """
+    expr = cover.dedup()
+    implementation = expr  # coverage checks are against the real gates
+    hazards: list[Static1Hazard] = []
+    seen: set[Cube] = set()
+
+    def flag(cube: Cube) -> None:
+        if cube not in seen:
+            seen.add(cube)
+            hazards.append(Static1Hazard(cube))
+
+    # Any uncovered non-primes represent hazards — look at those first.
+    work = list(expr.cubes)
+    for cube in expr.cubes:
+        if not expr.is_prime(cube):
+            prime = expr.expand_to_prime(cube)
+            if not implementation.single_cube_contains(prime):
+                flag(prime)
+            if prime not in work:
+                work.append(prime)
+
+    # Generate all cube adjacencies (CONFLICTS has exactly one bit set),
+    # then flag every adjacency not covered by a single gate.
+    for i, cube1 in enumerate(work):
+        for cube2 in work[i + 1 :]:
+            adjacency = cube1.consensus(cube2)
+            if adjacency is None:
+                continue
+            if not implementation.single_cube_contains(adjacency):
+                flag(adjacency)
+    return hazards
+
+
+def find_sic_static1_hazards(cover: Cover) -> list[Static1Hazard]:
+    """Single-input-change static-1 hazards only.
+
+    The simpler check from the paper: every cube adjacency must be
+    covered by some single cube of the expression (no prime expansion —
+    s.i.c. transitions in/out of a non-prime cube stay within some other
+    cube or are cube adjacencies).
+    """
+    expr = cover.dedup()
+    hazards: list[Static1Hazard] = []
+    seen: set[Cube] = set()
+    for i, cube1 in enumerate(expr.cubes):
+        for cube2 in expr.cubes[i + 1 :]:
+            adjacency = cube1.consensus(cube2)
+            if adjacency is None:
+                continue
+            if not expr.single_cube_contains(adjacency):
+                if adjacency not in seen:
+                    seen.add(adjacency)
+                    hazards.append(Static1Hazard(adjacency))
+    return hazards
+
+
+def find_static1_hazards_complete(cover: Cover) -> list[Static1Hazard]:
+    """Exhaustive static-1 characterization: the uncovered primes."""
+    return [
+        Static1Hazard(prime)
+        for prime in cover.all_primes()
+        if not cover.single_cube_contains(prime)
+    ]
+
+
+def has_static1_hazard(cover: Cover) -> bool:
+    """Existence predicate (complete): some prime is uncovered."""
+    return any(
+        not cover.single_cube_contains(prime) for prime in cover.all_primes()
+    )
+
+
+def exhibits_static1(cover: Cover, transition: Cube) -> bool:
+    """Does this implementation exhibit a static-1 hazard over the cube?
+
+    ``transition`` must be an implicant of the function; the hazard is
+    present exactly when no single cube of the implementation holds it.
+    """
+    return not cover.single_cube_contains(transition)
+
+
+def static1_subset(inner: Cover, outer: Cover) -> bool:
+    """Are ``inner``'s static-1 hazards a subset of ``outer``'s?
+
+    Both covers must implement the same function.  Hazardous transitions
+    of ``inner`` ⊆ those of ``outer`` iff every transition *safe* in
+    ``outer`` is safe in ``inner`` — i.e. every cube of ``outer`` is
+    contained in a single cube of ``inner``.  (Exact; see module doc.)
+    """
+    return all(inner.single_cube_contains(cube) for cube in outer.dedup())

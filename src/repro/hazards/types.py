@@ -1,0 +1,165 @@
+"""Hazard records and the hazard behaviour of an implementation.
+
+The paper's classification (section 2.3):
+
+* **static-1** logic hazards — a transition subcube on which the function
+  is constant 1 but no single gate holds the output;
+* **static-0** logic hazards — vacuous terms (a variable and its
+  complement reconverging in one product) that can pulse while the
+  output should stay 0;
+* **m.i.c. dynamic** logic hazards — a cube that turns on and off during
+  a function-hazard-free dynamic transition (Theorem 4.1);
+* **s.i.c. dynamic** logic hazards — a vacuous term pulsing during a
+  single-input-change dynamic transition.
+
+Function hazards are deliberately *not* recorded: they are a property of
+the function, identical in any implementation of it, and therefore
+irrelevant to the matching filter (section 3.2.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from ..boolean.cover import Cover
+from ..boolean.cube import Cube
+
+
+@dataclass(frozen=True)
+class Static1Hazard:
+    """A static-1 logic hazard.
+
+    ``transition`` is a subcube of the ON-set on which no single
+    implementation cube holds the output; any input burst across it can
+    glitch low.
+    """
+
+    transition: Cube
+
+    def remap(self, mapping: Sequence[int], nvars: int) -> "Static1Hazard":
+        return Static1Hazard(self.transition.remap(mapping, nvars))
+
+    def describe(self, names: Optional[Sequence[str]] = None) -> str:
+        return f"static-1 over {self.transition.to_string(names)}"
+
+
+@dataclass(frozen=True)
+class Static0Hazard:
+    """A static-0 logic hazard.
+
+    Variable ``var`` reconverges with its complement inside one product
+    term whose residual is ``residual``; ``condition`` is the set of
+    surrounding input points (a cover, with ``var`` free) at which the
+    output is 0 on both sides of the change yet the term can pulse high.
+    """
+
+    var: int
+    residual: Cube
+    condition: Cover
+
+    def remap(self, mapping: Sequence[int], nvars: int) -> "Static0Hazard":
+        return Static0Hazard(
+            mapping[self.var],
+            self.residual.remap(mapping, nvars),
+            self.condition.remap(mapping, nvars),
+        )
+
+    def describe(self, names: Optional[Sequence[str]] = None) -> str:
+        name = names[self.var] if names else f"x{self.var}"
+        return (
+            f"static-0 on {name} change when {self.condition.to_string(names)}"
+        )
+
+
+@dataclass(frozen=True)
+class MicDynamicHazard:
+    """A multi-input-change dynamic logic hazard.
+
+    The transition runs between minterms ``start`` (where f = 0) and
+    ``end`` (where f = 1); within the transition space some cube can
+    turn on and off before the output settles (Theorem 4.1).  The same
+    record also certifies the reverse 1→0 transition.
+    """
+
+    start: int
+    end: int
+    nvars: int
+
+    @property
+    def space(self) -> Cube:
+        return Cube.minterm(self.start, self.nvars).supercube(
+            Cube.minterm(self.end, self.nvars)
+        )
+
+    def remap(self, mapping: Sequence[int], nvars: int) -> "MicDynamicHazard":
+        def remap_point(point: int) -> int:
+            result = 0
+            for i in range(self.nvars):
+                if point >> i & 1:
+                    result |= 1 << mapping[i]
+            return result
+
+        return MicDynamicHazard(
+            remap_point(self.start), remap_point(self.end), nvars
+        )
+
+    def describe(self, names: Optional[Sequence[str]] = None) -> str:
+        a = Cube.minterm(self.start, self.nvars).to_string(names)
+        b = Cube.minterm(self.end, self.nvars).to_string(names)
+        return f"m.i.c. dynamic over {a} -> {b}"
+
+
+@dataclass(frozen=True)
+class SicDynamicHazard:
+    """A single-input-change dynamic logic hazard.
+
+    While ``var`` changes with the other inputs at a point of
+    ``condition`` (a cover with ``var`` free), a vacuous term with
+    residual ``residual`` can pulse, turning the expected single output
+    change into a multiple change.
+    """
+
+    var: int
+    residual: Cube
+    condition: Cover
+
+    def remap(self, mapping: Sequence[int], nvars: int) -> "SicDynamicHazard":
+        return SicDynamicHazard(
+            mapping[self.var],
+            self.residual.remap(mapping, nvars),
+            self.condition.remap(mapping, nvars),
+        )
+
+    def describe(self, names: Optional[Sequence[str]] = None) -> str:
+        name = names[self.var] if names else f"x{self.var}"
+        return (
+            f"s.i.c. dynamic on {name} change when "
+            f"{self.condition.to_string(names)}"
+        )
+
+
+@dataclass(frozen=True)
+class HazardSummary:
+    """Aggregate counts, used by the library census (Table 1)."""
+
+    static1: int
+    static0: int
+    mic_dynamic: int
+    sic_dynamic: int
+
+    @property
+    def total(self) -> int:
+        return self.static1 + self.static0 + self.mic_dynamic + self.sic_dynamic
+
+    @property
+    def hazard_free(self) -> bool:
+        return self.total == 0
+
+    def __str__(self) -> str:
+        if self.hazard_free:
+            return "hazard-free"
+        return (
+            f"s1={self.static1} s0={self.static0} "
+            f"dyn={self.mic_dynamic} sic={self.sic_dynamic}"
+        )

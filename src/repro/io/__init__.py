@@ -1,0 +1,21 @@
+"""File-format interchange: equations, BLIF, genlib."""
+
+from .formats import (
+    FormatError,
+    read_blif,
+    read_equations,
+    read_genlib,
+    write_blif,
+    write_equations,
+    write_genlib,
+)
+
+__all__ = [
+    "FormatError",
+    "read_blif",
+    "read_equations",
+    "read_genlib",
+    "write_blif",
+    "write_equations",
+    "write_genlib",
+]

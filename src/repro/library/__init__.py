@@ -1,0 +1,26 @@
+"""Cell libraries: cells, annotation, and the four synthetic libraries."""
+
+from .cell import LibraryCell
+from .library import AnnotationReport, Library
+from .standard import (
+    ALL_LIBRARIES,
+    actel_act1,
+    cmos3,
+    gdt,
+    load_library,
+    lsi9k,
+    minimal_teaching_library,
+)
+
+__all__ = [
+    "ALL_LIBRARIES",
+    "AnnotationReport",
+    "Library",
+    "LibraryCell",
+    "actel_act1",
+    "cmos3",
+    "gdt",
+    "load_library",
+    "lsi9k",
+    "minimal_teaching_library",
+]

@@ -1,0 +1,145 @@
+"""Cell libraries and the hazard-annotation pass.
+
+``Library.annotate_hazards`` is the paper's
+``augment-library-with-hazard-info``: every cell's BFF is analyzed once
+when the library is read in (Table 2 measures this), and the per-cell
+:class:`~repro.hazards.analyzer.HazardAnalysis` is consulted during
+matching.  Matching-oriented indexes (pin count, permutation-invariant
+signature) are built on demand.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Optional, Sequence
+
+from ..boolean import truthtable as tt
+from .cell import LibraryCell
+
+
+@dataclass
+class AnnotationReport:
+    """Timing/result record of a library hazard-annotation pass."""
+
+    library: str
+    elapsed: float
+    cells: int
+    hazardous: int
+
+    @property
+    def hazardous_fraction(self) -> float:
+        return self.hazardous / self.cells if self.cells else 0.0
+
+
+class Library:
+    """An ordered collection of cells with matching indexes."""
+
+    def __init__(self, name: str, cells: Iterable[LibraryCell]) -> None:
+        self.name = name
+        self.cells = list(cells)
+        names = [c.name for c in self.cells]
+        if len(set(names)) != len(names):
+            raise ValueError("duplicate cell names in library")
+        self._by_pins: Optional[dict[int, list[LibraryCell]]] = None
+        self._signatures: Optional[dict[tuple, list[LibraryCell]]] = None
+        self.annotated = False
+
+    def __len__(self) -> int:
+        return len(self.cells)
+
+    def __iter__(self) -> Iterator[LibraryCell]:
+        return iter(self.cells)
+
+    def cell(self, name: str) -> LibraryCell:
+        for candidate in self.cells:
+            if candidate.name == name:
+                return candidate
+        raise KeyError(name)
+
+    @property
+    def max_pins(self) -> int:
+        return max((c.num_pins for c in self.cells), default=0)
+
+    # ------------------------------------------------------------------
+    # Matching indexes
+    # ------------------------------------------------------------------
+    def by_pin_count(self, pins: int) -> list[LibraryCell]:
+        if self._by_pins is None:
+            self._by_pins = {}
+            for cell in self.cells:
+                self._by_pins.setdefault(cell.num_pins, []).append(cell)
+        return self._by_pins.get(pins, [])
+
+    def candidates(self, table: int, pins: int) -> list[LibraryCell]:
+        """Cells whose permutation-invariant signature matches ``table``."""
+        if self._signatures is None:
+            self._signatures = {}
+            for cell in self.cells:
+                key = (cell.num_pins, tt.signature(cell.truth_table(), cell.num_pins))
+                self._signatures.setdefault(key, []).append(cell)
+        key = (pins, tt.signature(table, pins))
+        return self._signatures.get(key, [])
+
+    # ------------------------------------------------------------------
+    # Hazard annotation (async library initialization)
+    # ------------------------------------------------------------------
+    def annotate_hazards(self, exhaustive: bool = True) -> AnnotationReport:
+        """Analyze every cell's BFF for logic hazards (section 3.2.1)."""
+        start = time.perf_counter()
+        hazardous = 0
+        for cell in self.cells:
+            cell.annotate(exhaustive=exhaustive)
+            if cell.is_hazardous:
+                hazardous += 1
+        self.annotated = True
+        return AnnotationReport(
+            library=self.name,
+            elapsed=time.perf_counter() - start,
+            cells=len(self.cells),
+            hazardous=hazardous,
+        )
+
+    def hazardous_cells(self) -> list[LibraryCell]:
+        if not self.annotated:
+            self.annotate_hazards()
+        return [c for c in self.cells if c.is_hazardous]
+
+    def census(self) -> dict[str, object]:
+        """Table-1 row: hazardous families, counts, fraction."""
+        hazardous = self.hazardous_cells()
+        families = sorted({c.family for c in hazardous})
+        return {
+            "library": self.name,
+            "hazardous_families": families,
+            "hazardous": len(hazardous),
+            "total": len(self.cells),
+            "percent": round(100.0 * len(hazardous) / len(self.cells))
+            if self.cells
+            else 0,
+        }
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_spec(
+        cls,
+        name: str,
+        spec: Sequence[tuple],
+    ) -> "Library":
+        """Build a library from ``(name, bff_text, area, delay[, family])``
+        tuples; ``area=None`` derives the pulldown-transistor count."""
+        cells = []
+        for entry in spec:
+            cell_name, text, area, delay = entry[:4]
+            family = entry[4] if len(entry) > 4 else "logic"
+            cells.append(
+                LibraryCell.from_text(
+                    cell_name, text, area=area, delay=delay, family=family
+                )
+            )
+        return cls(name, cells)
+
+    def __repr__(self) -> str:
+        return f"Library({self.name!r}, {len(self.cells)} cells)"

@@ -1,0 +1,240 @@
+"""Pass-transistor network hazard model (paper section 6 future work).
+
+The paper's conclusions: *"We are currently developing a model for the
+representation and hazard analysis of pass-transistor networks, such as
+those employed in MUX-based FPGAs such as the Actel Act2, which do not
+exhibit the same hazard behavior as complementary CMOS networks."*
+
+A transmission-gate multiplexer differs from the AND-OR mux in two
+physical ways:
+
+* when no path conducts, the output node **floats and holds** its
+  previous value (charge storage) instead of collapsing to 0 — so the
+  classic select-change static-1 glitch of ``s·a + s'·b`` does *not*
+  occur under a break-before-make select discipline;
+* when two paths conduct simultaneously (make-before-break overlap,
+  or skew between a select wire and its internal complement), the
+  output can see **contention** between different data values.
+
+The model: a tree of :class:`PassMux` nodes.  Each select drives the
+pass side directly and the opposite side through an internal inverter,
+and the two can switch at independent times — two events per changing
+select, one per changing data leaf.  All event orders are explored
+(the same subset-lattice trick as
+:mod:`repro.hazards.multilevel`), with path-dependent hold semantics:
+the verdict per transition is *clean*, *glitch* (the driven value
+sequence is non-monotone), or *contention* (conflicting values driven
+at once).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Iterator, Mapping, Optional, Sequence, Union
+
+PassInput = Union["PassMux", str]
+
+
+@dataclass(frozen=True)
+class PassMux:
+    """One 2:1 transmission-gate multiplexer.
+
+    ``when_high`` conducts while ``select`` is 1, ``when_low`` while the
+    internally inverted select is 1.
+    """
+
+    select: str
+    when_high: PassInput
+    when_low: PassInput
+
+    def leaves(self) -> frozenset[str]:
+        result: set[str] = set()
+        for branch in (self.when_high, self.when_low):
+            if isinstance(branch, PassMux):
+                result |= branch.leaves()
+            else:
+                result.add(branch)
+        return frozenset(result)
+
+    def selects(self) -> frozenset[str]:
+        result = {self.select}
+        for branch in (self.when_high, self.when_low):
+            if isinstance(branch, PassMux):
+                result |= branch.selects()
+        return frozenset(result)
+
+    def support(self) -> frozenset[str]:
+        return self.leaves() | self.selects()
+
+    def evaluate(self, env: Mapping[str, bool]) -> bool:
+        branch = self.when_high if env[self.select] else self.when_low
+        if isinstance(branch, PassMux):
+            return branch.evaluate(env)
+        return bool(env[branch])
+
+
+class PassVerdict(Enum):
+    CLEAN = "clean"
+    GLITCH = "glitch"
+    CONTENTION = "contention"
+
+
+@dataclass(frozen=True)
+class PassTransition:
+    """Verdict for one input burst on a pass-transistor tree."""
+
+    start: int
+    end: int
+    verdict: PassVerdict
+
+
+class PassGateAnalyzer:
+    """Exhaustive hazard analysis of a pass-transistor mux tree."""
+
+    def __init__(self, tree: PassMux, names: Optional[Sequence[str]] = None) -> None:
+        self.tree = tree
+        self.names = list(names) if names is not None else sorted(tree.support())
+        missing = tree.support() - set(self.names)
+        if missing:
+            raise ValueError(f"names miss {sorted(missing)}")
+        self.index = {name: i for i, name in enumerate(self.names)}
+
+    @property
+    def nvars(self) -> int:
+        return len(self.names)
+
+    # ------------------------------------------------------------------
+    # Event semantics
+    # ------------------------------------------------------------------
+    def _events(self, changing: int) -> list[tuple[str, str]]:
+        """(kind, name) events: selects contribute a direct and an
+        inverted-path event; data leaves one event each."""
+        events: list[tuple[str, str]] = []
+        for name in self.names:
+            if not changing >> self.index[name] & 1:
+                continue
+            if name in self.tree.selects():
+                events.append(("sel+", name))
+                events.append(("sel-", name))
+            if name in self.tree.leaves():
+                events.append(("leaf", name))
+        return events
+
+    def _driven_values(
+        self,
+        node: PassInput,
+        start: int,
+        end: int,
+        switched: frozenset[tuple[str, str]],
+    ) -> set[bool]:
+        """Values conducted to this subtree's output in one event state."""
+
+        def value_of(name: str, kind: str) -> bool:
+            bit = 1 << self.index[name]
+            if not (start ^ end) & bit:
+                return bool(start & bit)
+            after = (kind, name) in switched
+            return bool(end & bit) if after else bool(start & bit)
+
+        if isinstance(node, str):
+            return {value_of(node, "leaf")}
+        # Pass side sees the select directly; the opposite side sees the
+        # internal complement, switching at its own time.
+        direct = value_of(node.select, "sel+")
+        inverted_input = value_of(node.select, "sel-")
+        values: set[bool] = set()
+        if direct:
+            values |= self._driven_values(node.when_high, start, end, switched)
+        if not inverted_input:
+            values |= self._driven_values(node.when_low, start, end, switched)
+        return values
+
+    # ------------------------------------------------------------------
+    # Per-transition verdict
+    # ------------------------------------------------------------------
+    def classify(self, start: int, end: int) -> PassTransition:
+        """Explore every event order with hold-on-float semantics."""
+        changing = start ^ end
+        events = self._events(changing)
+        n = len(events)
+        if n > 16:
+            raise ValueError("transition too wide for exhaustive analysis")
+        initial = self.tree.evaluate(
+            {name: bool(start >> i & 1) for i, name in enumerate(self.names)}
+        )
+
+        # DP over (state, last driven value, seen-extra-change?) —
+        # reachable combinations; detect contention and non-monotone
+        # driven sequences.
+        f_end = self.tree.evaluate(
+            {name: bool(end >> i & 1) for i, name in enumerate(self.names)}
+        )
+        expected_changes = int(initial != f_end)
+        contention = False
+        worst_changes = 0
+        # frontier: map state-bitmask -> set of (value, changes) pairs
+        frontier: dict[int, set[tuple[bool, int]]] = {0: {(initial, 0)}}
+        order_index = {event: i for i, event in enumerate(events)}
+        for popcount_level in range(n + 1):
+            next_frontier: dict[int, set[tuple[bool, int]]] = {}
+            for state, outcomes in frontier.items():
+                for event in events:
+                    bit = 1 << order_index[event]
+                    if state & bit:
+                        continue
+                    new_state = state | bit
+                    switched = frozenset(
+                        events[i] for i in range(n) if new_state >> i & 1
+                    )
+                    driven = self._driven_values(self.tree, start, end, switched)
+                    for value, changes in outcomes:
+                        if len(driven) > 1:
+                            contention = True
+                            new_value, new_changes = value, changes
+                        elif driven:
+                            new_value = next(iter(driven))
+                            new_changes = changes + int(new_value != value)
+                        else:
+                            new_value, new_changes = value, changes  # hold
+                        worst_changes = max(worst_changes, new_changes)
+                        next_frontier.setdefault(new_state, set()).add(
+                            (new_value, new_changes)
+                        )
+            if next_frontier:
+                frontier = next_frontier
+        if contention:
+            return PassTransition(start, end, PassVerdict.CONTENTION)
+        if worst_changes > expected_changes:
+            return PassTransition(start, end, PassVerdict.GLITCH)
+        return PassTransition(start, end, PassVerdict.CLEAN)
+
+    def hazardous_transitions(self) -> list[PassTransition]:
+        result = []
+        for start in range(1 << self.nvars):
+            for end in range(1 << self.nvars):
+                if start == end:
+                    continue
+                verdict = self.classify(start, end)
+                if verdict.verdict is not PassVerdict.CLEAN:
+                    result.append(verdict)
+        return result
+
+    def is_hazard_free(self) -> bool:
+        return not self.hazardous_transitions()
+
+
+def act1_style_mux(select: str, when_low: str, when_high: str) -> PassMux:
+    """The basic Act-family steering mux."""
+    return PassMux(select, when_high, when_low)
+
+
+def act2_c_module(
+    s0: str, s1: str, d0: str, d1: str, d2: str, d3: str
+) -> PassMux:
+    """The Act2 combinational module: a 4:1 pass-transistor mux tree."""
+    return PassMux(
+        s1,
+        PassMux(s0, d3, d2),
+        PassMux(s0, d1, d0),
+    )

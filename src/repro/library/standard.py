@@ -1,0 +1,560 @@
+"""Synthetic recreations of the paper's four cell libraries (Table 1).
+
+The real LSI9K / CMOS3 / GDT / Actel-Act1 libraries are proprietary;
+what Table 1 depends on is only cell *structure*, which we model
+faithfully:
+
+* **LSI9K** — a general-purpose CMOS ASIC library: 86 cells across the
+  usual families, of which the 12 multiplexers are the only hazardous
+  elements (≈14 %).  Muxes written as their true two-gate SOP structure
+  ``s'·a + s·b`` carry the classic static-1 hazard.
+* **CMOS3** — a small ASIC library (Heinbuch): 30 cells, one mux (3 %).
+* **GDT** — a chip-specific standard-cell library with many *complex*
+  AOI/OAI gates in factored single-gate form: complements of disjoint
+  products have no adjacent or intersecting cubes, so none of the 72
+  cells is hazardous — but their size makes hazard analysis slow, which
+  is exactly Table 2's GDT row.
+* **ACTEL** — an antifuse FPGA family whose macros are built from
+  multiplexer trees; AND-OR macros written mux-style
+  (``c + c'·a·b``) lose the consensus term and become hazardous: 24 of
+  84 cells (≈29 %), concentrated in the AO/OA/AOI/OAI and mux macros.
+
+Areas default to the pulldown-transistor count (the Table 3 unit);
+LSI areas are scaled to a µm²-flavoured unit so that Table 5's "area
+numbers are relative to the particular library" property holds.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from .cell import LibraryCell
+from .library import Library
+
+# ----------------------------------------------------------------------
+# Family builders
+# ----------------------------------------------------------------------
+
+_PINS = "abcdefghij"
+
+
+def _ands(n: int) -> str:
+    return "*".join(_PINS[:n])
+
+
+def _ors(n: int) -> str:
+    return " + ".join(_PINS[:n])
+
+
+def _cell(
+    name: str,
+    text: str,
+    delay: float,
+    family: str = "logic",
+    area_scale: float = 1.0,
+    area_offset: float = 0.0,
+) -> LibraryCell:
+    cell = LibraryCell.from_text(name, text, area=None, delay=delay, family=family)
+    cell.area = cell.area * area_scale + area_offset
+    return cell
+
+
+def _basic_family(
+    drive_counts: dict[str, int],
+    delay_unit: float,
+    area_scale: float,
+) -> list[LibraryCell]:
+    """INV/BUF/NAND/NOR/AND/OR/XOR cells with drive-strength variants.
+
+    ``drive_counts`` maps a template key (e.g. ``"NAND2"``) to how many
+    drive variants to emit.  Higher drives get slightly lower delay and
+    higher area, like real libraries.
+    """
+    templates: dict[str, tuple[str, float]] = {
+        "INV": ("a'", 0.6),
+        "BUF": ("a", 1.0),
+    }
+    for n in (2, 3, 4, 5, 6, 8):
+        templates[f"NAND{n}"] = (f"({_ands(n)})'", 0.8 + 0.15 * n)
+        templates[f"NOR{n}"] = (f"({_ors(n)})'", 0.9 + 0.18 * n)
+        templates[f"AND{n}"] = (_ands(n), 1.0 + 0.15 * n)
+        templates[f"OR{n}"] = (_ors(n), 1.1 + 0.18 * n)
+    templates["XOR2"] = ("a'*b + a*b'", 1.8)
+    templates["XNOR2"] = ("a*b + a'*b'", 1.8)
+    templates["XOR3"] = ("a'*b'*c + a'*b*c' + a*b'*c' + a*b*c", 2.4)
+    templates["XNOR3"] = ("a'*b'*c' + a'*b*c + a*b'*c + a*b*c'", 2.4)
+
+    cells = []
+    for key, count in drive_counts.items():
+        text, rel_delay = templates[key]
+        for drive in range(1, count + 1):
+            suffix = "" if count == 1 else f"_{drive}X"
+            delay = delay_unit * rel_delay / (0.8 + 0.2 * drive)
+            cells.append(
+                _cell(
+                    f"{key}{suffix}",
+                    text,
+                    delay=round(delay, 3),
+                    family="xor" if key.startswith("X") else "basic",
+                    area_scale=area_scale * (1.0 + 0.25 * (drive - 1)),
+                )
+            )
+    return cells
+
+
+def _aoi_family(
+    shapes: list[tuple[int, ...]],
+    delay_unit: float,
+    area_scale: float,
+    invert: bool,
+    prefix: str,
+) -> list[LibraryCell]:
+    """Complex AND-OR(-INVERT) gates in factored single-gate form.
+
+    ``shapes`` lists the AND-leg widths, e.g. ``(2, 1)`` is AOI21 =
+    ``(a·b + c)'``.  Disjoint product legs have no cube adjacencies or
+    intersections, so these factored forms are logic-hazard-free.
+    """
+    cells = []
+    pin_iter = _PINS
+    for shape in shapes:
+        legs = []
+        offset = 0
+        for width in shape:
+            legs.append("*".join(pin_iter[offset : offset + width]))
+            offset += width
+        body = " + ".join(legs)
+        text = f"({body})'" if invert else body
+        name = prefix + "".join(str(w) for w in shape)
+        delay = delay_unit * (0.9 + 0.22 * offset)
+        cells.append(
+            _cell(name, text, delay=round(delay, 3), family="aoi", area_scale=area_scale)
+        )
+    return cells
+
+
+def _oai_family(
+    shapes: list[tuple[int, ...]],
+    delay_unit: float,
+    area_scale: float,
+    invert: bool,
+    prefix: str,
+) -> list[LibraryCell]:
+    """OR-AND(-INVERT) gates in factored form, e.g. OAI21 = ((a+b)·c)'."""
+    cells = []
+    pin_iter = _PINS
+    for shape in shapes:
+        legs = []
+        offset = 0
+        for width in shape:
+            group = " + ".join(pin_iter[offset : offset + width])
+            legs.append(f"({group})" if width > 1 else group)
+            offset += width
+        body = "*".join(legs)
+        text = f"({body})'" if invert else body
+        name = prefix + "".join(str(w) for w in shape)
+        delay = delay_unit * (0.95 + 0.22 * offset)
+        cells.append(
+            _cell(name, text, delay=round(delay, 3), family="oai", area_scale=area_scale)
+        )
+    return cells
+
+
+def _mux_family(
+    variants: list[str], delay_unit: float, area_scale: float
+) -> list[LibraryCell]:
+    """Multiplexers in their true two-level SOP structure — hazardous.
+
+    ``s'·a + s·b`` misses the consensus cube ``a·b``; a select change
+    with both data inputs high can glitch low (static-1), and related
+    dynamic hazards follow.  Inverted-output versions reconverge the
+    select internally (a vacuous ``s·s'`` path), adding static-0 /
+    s.i.c. dynamic hazards — matching real pass-gate structures.
+    """
+    templates = {
+        "MUX21": "s'*a + s*b",
+        "MUX21I": "(s'*a + s*b)'",
+        "MUX41": "t'*s'*a + t'*s*b + t*s'*c + t*s*d",
+        "MUX41I": "(t'*s'*a + t'*s*b + t*s'*c + t*s*d)'",
+        "MUXA21": "s'*a*b + s*c",
+        "MUXO21": "s'*(a + b) + s*c",
+    }
+    cells = []
+    for variant in variants:
+        base, __, drive = variant.partition(":")
+        name = base if not drive else f"{base}_{drive}X"
+        scale = 1.0 if not drive else 1.0 + 0.25 * (int(drive) - 1)
+        text = templates[base]
+        delay = delay_unit * (1.6 if "41" in base else 1.2)
+        cells.append(
+            _cell(
+                name,
+                text,
+                delay=round(delay, 3),
+                family="mux",
+                area_scale=area_scale * scale,
+            )
+        )
+    return cells
+
+
+def _actel_macro_family(delay_unit: float) -> list[LibraryCell]:
+    """Actel AO/OA/AOI/OAI macros in their mux-tree realization.
+
+    The Act1 logic module computes everything by steering data through
+    multiplexers, so an AND-OR macro like ``a·b + c`` is realized as
+    ``c + c'·a·b`` — the consensus term ``a·b`` is gone and a change of
+    ``c`` with ``a·b`` high can glitch: hazardous, unlike the same
+    function in a complementary-CMOS library.
+    """
+    macros = {
+        # AND-OR macros: f = leg + c  realized as  c + c'·leg
+        "AO1": "c + c'*a*b",
+        "AO2": "d + d'*a*b*c",
+        "AO3": "c + c'*(a + b)*b + c'*a*b'",
+        "AO4": "d + d'*a*b + d'*a'*c*b",
+        "AO5": "c*d + (c*d)'*a*b + (c*d)'*a*c'*d'",
+        "AO6": "d + d'*c + d'*c'*a*b*c",
+        # OR-AND macros: f = (a+b)·c realized by steering c
+        "OA1": "c*a + c*a'*b",
+        "OA2": "d*a + d*a'*b + d*a'*b'*c*a",
+        "OA3": "c*b + c*b'*a",
+        "OA4": "d*c*a + d*c*a'*b",
+        "OA5": "c*a*b' + c*b",
+        # Inverting macros: mux-realized complements keep the select
+        # reconvergence, hence vacuous select paths.
+        "AOI1": "(c + c'*a*b)'",
+        "AOI2": "(d + d'*a*b*c)'",
+        "AOI3": "(c + c'*(a + b)*b + c'*a*b')'",
+        "AOI4": "(d + d'*a*b + d'*a'*c*b)'",
+        "OAI1": "(c*a + c*a'*b)'",
+        "OAI2": "(c*b + c*b'*a)'",
+        "OAI3": "(d*c*a + d*c*a'*b)'",
+    }
+    cells = []
+    for name, text in macros.items():
+        expression_cost = 1.2 + 0.1 * len(text)
+        cells.append(
+            _cell(
+                name,
+                text,
+                delay=round(delay_unit * expression_cost / 2.0, 3),
+                family="aoi" if name.startswith(("AO", "AOI")) else "oai",
+            )
+        )
+    return cells
+
+
+# ----------------------------------------------------------------------
+# The four libraries
+# ----------------------------------------------------------------------
+
+
+@lru_cache(maxsize=None)
+def lsi9k() -> Library:
+    """LSI Logic 9K-flavoured ASIC library: 86 cells, 12 hazardous muxes."""
+    delay_unit = 1.4  # ns-ish; Table 5's LSI delays are an order above CMOS3
+    area_scale = 16.0
+    cells: list[LibraryCell] = []
+    cells += _basic_family(
+        {
+            "INV": 4,
+            "BUF": 4,
+            "NAND2": 3,
+            "NAND3": 2,
+            "NAND4": 2,
+            "NAND5": 1,
+            "NAND6": 1,
+            "NAND8": 1,
+            "NOR2": 3,
+            "NOR3": 2,
+            "NOR4": 2,
+            "NOR5": 1,
+            "NOR6": 1,
+            "NOR8": 1,
+            "AND2": 2,
+            "AND3": 2,
+            "AND4": 2,
+            "AND5": 1,
+            "AND6": 1,
+            "OR2": 2,
+            "OR3": 2,
+            "OR4": 2,
+            "OR5": 1,
+            "OR6": 1,
+            "XOR2": 3,
+            "XNOR2": 3,
+            "XOR3": 1,
+            "XNOR3": 1,
+        },
+        delay_unit,
+        area_scale,
+    )
+    cells += _aoi_family(
+        [(2, 1), (2, 2), (2, 1, 1), (2, 2, 1), (2, 2, 2), (3, 1), (3, 2), (3, 3)],
+        delay_unit,
+        area_scale,
+        invert=True,
+        prefix="AOI",
+    )
+    cells += _oai_family(
+        [(2, 1), (2, 2), (2, 1, 1), (2, 2, 1), (2, 2, 2), (3, 1), (3, 2), (3, 3)],
+        delay_unit,
+        area_scale,
+        invert=True,
+        prefix="OAI",
+    )
+    cells += _aoi_family(
+        [(2, 1), (2, 2), (3, 3)], delay_unit, area_scale, invert=False, prefix="AO"
+    )
+    cells += _oai_family(
+        [(2, 1), (2, 2), (3, 3)], delay_unit, area_scale, invert=False, prefix="OA"
+    )
+    cells += _mux_family(
+        [
+            "MUX21:1",
+            "MUX21:2",
+            "MUX21:3",
+            "MUX21I:1",
+            "MUX21I:2",
+            "MUX41:1",
+            "MUX41:2",
+            "MUX41I:1",
+            "MUXA21:1",
+            "MUXA21:2",
+            "MUXO21:1",
+            "MUXO21:2",
+        ],
+        delay_unit,
+        area_scale,
+    )
+    return Library("LSI", cells)
+
+
+@lru_cache(maxsize=None)
+def cmos3() -> Library:
+    """Heinbuch CMOS3-flavoured cell library: 30 cells, one mux."""
+    delay_unit = 0.22
+    cells: list[LibraryCell] = []
+    cells += _basic_family(
+        {
+            "INV": 2,
+            "BUF": 1,
+            "NAND2": 2,
+            "NAND3": 1,
+            "NAND4": 1,
+            "NOR2": 2,
+            "NOR3": 1,
+            "NOR4": 1,
+            "AND2": 1,
+            "AND3": 1,
+            "AND4": 1,
+            "OR2": 1,
+            "OR3": 1,
+            "OR4": 1,
+            "XOR2": 1,
+            "XNOR2": 1,
+        },
+        delay_unit,
+        area_scale=1.0,
+    )
+    cells += _aoi_family(
+        [(2, 1), (2, 2), (2, 2, 1)], delay_unit, 1.0, invert=True, prefix="AOI"
+    )
+    cells += _oai_family(
+        [(2, 1), (2, 2), (2, 2, 1)], delay_unit, 1.0, invert=True, prefix="OAI"
+    )
+    cells += _aoi_family([(2, 1)], delay_unit, 1.0, invert=False, prefix="AO")
+    cells += _oai_family([(2, 1)], delay_unit, 1.0, invert=False, prefix="OA")
+    cells += _aoi_family([(2, 2)], delay_unit, 1.0, invert=False, prefix="AO")
+    cells += _oai_family([(2, 2)], delay_unit, 1.0, invert=False, prefix="OA")
+    cells += _mux_family(["MUX21"], delay_unit, 1.0)
+    return Library("CMOS3", cells)
+
+
+@lru_cache(maxsize=None)
+def gdt() -> Library:
+    """GDT-flavoured custom library: 72 cells, heavy on complex AOIs.
+
+    Written for one particular chip, it trades breadth for very wide
+    single-stage complex gates — which is why its hazard analysis
+    dominates Table 2 despite containing no hazardous element.
+    """
+    delay_unit = 0.9
+    cells: list[LibraryCell] = []
+    cells += _basic_family(
+        {
+            "INV": 3,
+            "BUF": 3,
+            "NAND2": 2,
+            "NAND3": 2,
+            "NAND4": 1,
+            "NAND5": 1,
+            "NAND6": 1,
+            "NOR2": 2,
+            "NOR3": 2,
+            "NOR4": 1,
+            "NOR5": 1,
+            "NOR6": 1,
+            "AND2": 1,
+            "AND3": 1,
+            "AND4": 1,
+            "AND5": 1,
+            "AND6": 1,
+            "OR2": 1,
+            "OR3": 1,
+            "OR4": 1,
+            "OR5": 1,
+            "OR6": 1,
+            "XOR2": 1,
+            "XNOR2": 1,
+        },
+        delay_unit,
+        area_scale=1.0,
+    )
+    cells += _aoi_family(
+        [
+            (2, 1),
+            (2, 2),
+            (2, 1, 1),
+            (2, 2, 1),
+            (2, 2, 2),
+            (3, 1),
+            (3, 2),
+            (3, 3),
+            (2, 2, 2, 1),
+            (2, 2, 2, 2),
+            (3, 2, 2),
+            (3, 3, 2),
+            (3, 3, 3),
+            (4, 2),
+            (4, 3),
+            (4, 4),
+        ],
+        delay_unit,
+        1.0,
+        invert=True,
+        prefix="AOI",
+    )
+    cells += _oai_family(
+        [
+            (2, 1),
+            (2, 2),
+            (2, 1, 1),
+            (2, 2, 1),
+            (2, 2, 2),
+            (3, 1),
+            (3, 2),
+            (3, 3),
+            (2, 2, 2, 1),
+            (2, 2, 2, 2),
+            (3, 2, 2),
+            (3, 3, 2),
+            (3, 3, 3),
+            (4, 2),
+            (4, 3),
+            (4, 4),
+        ],
+        delay_unit,
+        1.0,
+        invert=True,
+        prefix="OAI",
+    )
+    cells += _aoi_family(
+        [(2, 1), (2, 2), (2, 2, 2), (3, 3)], delay_unit, 1.0, invert=False, prefix="AO"
+    )
+    cells += _oai_family(
+        [(2, 1), (2, 2), (2, 2, 2), (3, 3)], delay_unit, 1.0, invert=False, prefix="OA"
+    )
+    return Library("GDT", cells)
+
+
+@lru_cache(maxsize=None)
+def actel_act1() -> Library:
+    """Actel Act1-flavoured macro library: 84 cells, 24 hazardous.
+
+    Every combinational macro is a personalization of the mux-based
+    logic module, so the AO/OA/AOI/OAI macros and the muxes themselves
+    carry logic hazards (Table 1's 29 %).
+    """
+    delay_unit = 1.1
+    cells: list[LibraryCell] = []
+    cells += _basic_family(
+        {
+            "INV": 5,
+            "BUF": 4,
+            "NAND2": 4,
+            "NAND3": 3,
+            "NAND4": 3,
+            "NOR2": 4,
+            "NOR3": 3,
+            "NOR4": 3,
+            "AND2": 4,
+            "AND3": 3,
+            "AND4": 3,
+            "OR2": 4,
+            "OR3": 3,
+            "OR4": 3,
+            "XOR2": 3,
+            "XNOR2": 3,
+            "XOR3": 1,
+        },
+        delay_unit,
+        area_scale=1.0,
+    )
+    # Hazard-free wide gates realizable as mux cascades without
+    # reconvergence (single-phase steering).
+    cells += _aoi_family(
+        [(2, 1, 1), (3, 1)], delay_unit, 1.0, invert=False, prefix="AO_W"
+    )
+    cells += _oai_family(
+        [(2, 1, 1), (3, 1)], delay_unit, 1.0, invert=False, prefix="OA_W"
+    )
+    # 24 hazardous macros: muxes + mux-realized AND-OR macros.
+    cells += _mux_family(
+        ["MUX21:1", "MUX21:2", "MUX21I:1", "MUX41:1", "MUX41:2", "MUX41I:1"],
+        delay_unit,
+        1.0,
+    )
+    cells += _actel_macro_family(delay_unit)
+    return Library("ACTEL", cells)
+
+
+@lru_cache(maxsize=None)
+def minimal_teaching_library() -> Library:
+    """A deliberately small library for examples and unit tests."""
+    spec = [
+        ("INV", "a'", None, 0.5, "basic"),
+        ("BUF", "a", None, 0.9, "basic"),
+        ("AND2", "a*b", None, 1.0, "basic"),
+        ("OR2", "a + b", None, 1.1, "basic"),
+        ("NAND2", "(a*b)'", None, 0.8, "basic"),
+        ("NOR2", "(a + b)'", None, 0.9, "basic"),
+        ("AND3", "a*b*c", None, 1.2, "basic"),
+        ("OR3", "a + b + c", None, 1.3, "basic"),
+        ("AOI21", "(a*b + c)'", None, 1.2, "aoi"),
+        ("OAI21", "((a + b)*c)'", None, 1.2, "oai"),
+        ("AO21", "a*b + c", None, 1.4, "aoi"),
+        ("OA21", "(a + b)*c", None, 1.4, "oai"),
+        ("MUX21", "s'*a + s*b", None, 1.5, "mux"),
+        ("XOR2", "a'*b + a*b'", None, 1.6, "xor"),
+    ]
+    return Library.from_spec("MINI", spec)
+
+
+ALL_LIBRARIES = {
+    "LSI": lsi9k,
+    "CMOS3": cmos3,
+    "GDT": gdt,
+    "ACTEL": actel_act1,
+}
+
+
+def load_library(name: str) -> Library:
+    """Load one of the synthetic standard libraries by name."""
+    try:
+        return ALL_LIBRARIES[name]()
+    except KeyError:
+        raise KeyError(
+            f"unknown library {name!r}; choose from {sorted(ALL_LIBRARIES)}"
+        ) from None

@@ -1,0 +1,205 @@
+"""Minimum-cost covering of cones (matching + covering, section 3.1.3).
+
+Dynamic programming over each fanout-free cone: for every gate, the
+best realization is the cheapest (cluster, cell) pair rooted there plus
+the best realizations of the cluster's internal leaves.  The
+asynchronous variant differs in exactly one place — the matching filter
+of section 3.2.2: a *hazardous* cell is accepted only if its hazards
+(transported through the pin binding) are a subset of the hazards of
+the subnetwork it replaces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..hazards.analyzer import HazardAnalysis, analyze_expression, hazards_subset
+from ..library.library import Library
+from ..network.netlist import Netlist
+from ..network.partition import Cone
+from .cuts import Cluster, cluster_expression, enumerate_clusters
+from .match import Match, match_cluster
+
+
+class MappingError(Exception):
+    """Raised when a cone cannot be covered with the given library."""
+
+
+@dataclass
+class CoverStats:
+    """Bookkeeping for the runtime analysis of Tables 2 and 4."""
+
+    clusters: int = 0
+    matches: int = 0
+    hazardous_matches: int = 0
+    hazard_rejections: int = 0
+    hazard_accepts: int = 0
+    dc_waivers: int = 0
+
+    def merge(self, other: "CoverStats") -> None:
+        self.clusters += other.clusters
+        self.matches += other.matches
+        self.hazardous_matches += other.hazardous_matches
+        self.hazard_rejections += other.hazard_rejections
+        self.hazard_accepts += other.hazard_accepts
+        self.dc_waivers += other.dc_waivers
+
+
+@dataclass
+class Selection:
+    """One chosen replacement: a cluster realized by a matched cell."""
+
+    cluster: Cluster
+    match: Match
+    cost: float
+
+
+@dataclass
+class ConeCover:
+    """The chosen selections realizing one cone, root-first."""
+
+    cone: Cone
+    selections: list[Selection] = field(default_factory=list)
+
+    @property
+    def area(self) -> float:
+        return sum(s.match.cell.area for s in self.selections)
+
+
+def cover_cone(
+    netlist: Netlist,
+    cone: Cone,
+    library: Library,
+    max_depth: int = 5,
+    max_inputs: int = 8,
+    objective: str = "area",
+    hazard_filter: bool = False,
+    filter_mode: str = "exact",
+    stats: Optional[CoverStats] = None,
+    dont_cares=None,
+) -> ConeCover:
+    """Find the best hazard-aware cover of one cone.
+
+    With ``hazard_filter`` (the async mapper) every hazardous-cell match
+    is screened with :func:`repro.hazards.analyzer.hazards_subset`
+    before it may join the cover.  Hazard-free cells pass unscreened —
+    by Corollary 3.1 they can only remove hazards.  When ``dont_cares``
+    (a :class:`repro.mapping.dontcare.HazardDontCares`) is supplied, a
+    rejected hazardous cell gets a second chance: hazards no specified
+    burst can excite are waived (paper section 6's extension).
+    """
+    if stats is None:
+        stats = CoverStats()
+    clusters = enumerate_clusters(netlist, cone, max_depth, max_inputs)
+    cluster_analyses: dict[tuple[str, tuple[str, ...]], HazardAnalysis] = {}
+
+    def cluster_analysis(cluster: Cluster) -> HazardAnalysis:
+        key = (cluster.root, cluster.leaves)
+        if key not in cluster_analyses:
+            expr = cluster_expression(netlist, cluster)
+            cluster_analyses[key] = analyze_expression(expr, cluster.leaves)
+        return cluster_analyses[key]
+
+    best: dict[str, tuple[float, Optional[Selection]]] = {
+        leaf: (0.0, None) for leaf in cone.leaves
+    }
+
+    def best_cost(name: str) -> float:
+        if name in best:
+            return best[name][0]
+        node_clusters = clusters.get(name, [])
+        stats.clusters += len(node_clusters)
+        champion: Optional[Selection] = None
+        champion_cost = float("inf")
+        for cluster in node_clusters:
+            expr = cluster_expression(netlist, cluster)
+            matches = match_cluster(library, expr, cluster.leaves)
+            for match in matches:
+                stats.matches += 1
+                if hazard_filter and match.cell.is_hazardous:
+                    stats.hazardous_matches += 1
+                    analysis = cluster_analysis(cluster)
+                    assert match.cell.analysis is not None
+                    accepted = hazards_subset(
+                        match.cell.analysis,
+                        analysis,
+                        mapping=list(match.binding),
+                        mode=filter_mode,
+                    )
+                    if not accepted and dont_cares is not None:
+                        accepted = _accept_with_dont_cares(
+                            dont_cares, match, cluster, analysis, stats
+                        )
+                    if not accepted:
+                        stats.hazard_rejections += 1
+                        continue
+                    stats.hazard_accepts += 1
+                leaf_cost = sum(best_cost(leaf) for leaf in cluster.leaves)
+                if objective == "delay":
+                    own = match.cell.delay + max(
+                        (best_cost(leaf) for leaf in cluster.leaves), default=0.0
+                    )
+                    total = own
+                else:
+                    total = match.cell.area + leaf_cost
+                if total < champion_cost:
+                    champion_cost = total
+                    champion = Selection(cluster, match, total)
+        if champion is None:
+            raise MappingError(
+                f"no library match covers node {name!r} "
+                f"(library {library.name!r}; is the base-gate set present?)"
+            )
+        best[name] = (champion_cost, champion)
+        return champion_cost
+
+    # ``objective == "delay"`` reuses best_cost as best-arrival.
+    best_cost(cone.root)
+
+    # Reconstruct the chosen selections from the root down.
+    cover = ConeCover(cone)
+    frontier = [cone.root]
+    visited: set[str] = set()
+    while frontier:
+        name = frontier.pop()
+        if name in visited or name in cone.leaves:
+            continue
+        visited.add(name)
+        selection = best[name][1]
+        if selection is None:
+            continue
+        cover.selections.append(selection)
+        frontier.extend(selection.cluster.leaves)
+    return cover
+
+
+def _accept_with_dont_cares(dont_cares, match, cluster, analysis, stats) -> bool:
+    """Second-chance screening under hazard don't-cares (section 6).
+
+    The cell's exhaustive hazardous-transition list is filtered down to
+    transitions some specified burst can excite; each surviving one must
+    still be matched by the subnetwork.  Cells too large for exhaustive
+    verdicts are not eligible (no sound waiver basis).
+    """
+    from ..hazards.multilevel import transition_has_hazard
+    from .dontcare import waive_irrelevant_hazards
+
+    assert match.cell.analysis is not None
+    verdicts = match.cell.analysis.ensure_verdicts()
+    if verdicts is None:
+        return False
+    relevant, waived = waive_irrelevant_hazards(
+        dont_cares,
+        list(cluster.leaves),
+        verdicts,
+        list(match.binding),
+        match.cell.analysis.nvars,
+    )
+    if waived == 0:
+        return False  # nothing waived: the plain filter already said no
+    for start, end in relevant:
+        if not transition_has_hazard(analysis.lsop, start, end):
+            return False
+    stats.dc_waivers += waived
+    return True

@@ -1,0 +1,217 @@
+"""The technology mappers: synchronous ``tmap`` and async ``async_tmap``.
+
+Section 3's procedures, verbatim in structure::
+
+    procedure tmap(network, library) {
+        decomposed-network = tech-decomp(network);
+        cones = partition(decomposed-network);
+        foreach output in cones { find_best_cover(output, library); }
+    }
+
+    procedure async_tmap(network, library) {
+        augment-library-with-hazard-info(library);
+        decomposed-network = async_tech_decomp(network);
+        cones = partition(decomposed-network);
+        foreach output in cones { find-best-async-cover(output, library); }
+    }
+
+The two differ in (a) the decomposition (hazard-preserving vs.
+simplifying), (b) library annotation, and (c) the hazardous-match
+filter inside covering.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..library.library import Library
+from ..network.decompose import async_tech_decomp, tech_decomp
+from ..network.netlist import Netlist
+from ..network.partition import partition
+from .cover import ConeCover, CoverStats, cover_cone
+
+
+@dataclass
+class MappingOptions:
+    """Mapper knobs; the paper runs everything at depth 5.
+
+    ``input_bursts`` (a list of
+    :class:`repro.mapping.dontcare.InputBurst`) switches on the
+    hazard-don't-care extension of section 6: hazards no specified
+    burst can excite are waived during matching.
+    """
+
+    max_depth: int = 5
+    max_inputs: int = 8
+    objective: str = "area"
+    filter_mode: str = "exact"
+    exhaustive_annotation: bool = True
+    input_bursts: Optional[list] = None
+
+
+@dataclass
+class MappingResult:
+    """A mapped network plus quality/runtime accounting."""
+
+    mapped: Netlist
+    source: Netlist
+    library: Library
+    mode: str
+    area: float
+    delay: float
+    elapsed: float
+    annotate_elapsed: float = 0.0
+    stats: CoverStats = field(default_factory=CoverStats)
+    covers: list[ConeCover] = field(default_factory=list)
+
+    def cell_usage(self) -> dict[str, int]:
+        return self.mapped.cell_usage()
+
+    def summary(self) -> dict[str, float]:
+        return {
+            "area": self.area,
+            "delay": round(self.delay, 2),
+            "cells": float(sum(self.cell_usage().values())),
+            "cpu": round(self.elapsed, 3),
+        }
+
+
+def tmap(
+    network: Netlist,
+    library: Library,
+    options: Optional[MappingOptions] = None,
+) -> MappingResult:
+    """Synchronous technology mapping (the CERES-style baseline).
+
+    Uses the simplifying decomposition and ignores hazards entirely —
+    hence unsafe for fundamental-mode asynchronous designs (Figure 3).
+    """
+    options = options or MappingOptions()
+    start = time.perf_counter()
+    decomposed = tech_decomp(network)
+    result = _map_decomposed(
+        network, decomposed, library, options, hazard_filter=False, mode="sync"
+    )
+    result.elapsed = time.perf_counter() - start
+    return result
+
+
+def async_tmap(
+    network: Netlist,
+    library: Library,
+    options: Optional[MappingOptions] = None,
+) -> MappingResult:
+    """Asynchronous technology mapping (the paper's contribution).
+
+    Hazard-annotates the library (once), decomposes hazard-preservingly
+    and screens hazardous-cell matches, so the mapped network has no
+    logic hazard absent from the source (Theorem 3.2).
+    """
+    options = options or MappingOptions()
+    start = time.perf_counter()
+    annotate_elapsed = 0.0
+    if not library.annotated:
+        report = library.annotate_hazards(exhaustive=options.exhaustive_annotation)
+        annotate_elapsed = report.elapsed
+    decomposed = async_tech_decomp(network)
+    result = _map_decomposed(
+        network, decomposed, library, options, hazard_filter=True, mode="async"
+    )
+    result.elapsed = time.perf_counter() - start
+    result.annotate_elapsed = annotate_elapsed
+    return result
+
+
+def _map_decomposed(
+    source: Netlist,
+    decomposed: Netlist,
+    library: Library,
+    options: MappingOptions,
+    hazard_filter: bool,
+    mode: str,
+) -> MappingResult:
+    if hazard_filter and not library.annotated:
+        library.annotate_hazards(exhaustive=options.exhaustive_annotation)
+    dont_cares = None
+    if hazard_filter and options.input_bursts:
+        from .dontcare import HazardDontCares
+
+        dont_cares = HazardDontCares(decomposed, options.input_bursts)
+    cones = partition(decomposed)
+    stats = CoverStats()
+    covers: list[ConeCover] = []
+    for cone in cones:
+        covers.append(
+            cover_cone(
+                decomposed,
+                cone,
+                library,
+                max_depth=options.max_depth,
+                max_inputs=options.max_inputs,
+                objective=options.objective,
+                hazard_filter=hazard_filter,
+                filter_mode=options.filter_mode,
+                stats=stats,
+                dont_cares=dont_cares,
+            )
+        )
+
+    mapped = _build_mapped_netlist(source, decomposed, covers)
+    result = MappingResult(
+        mapped=mapped,
+        source=source,
+        library=library,
+        mode=mode,
+        area=mapped.total_area(),
+        delay=mapped.critical_path_delay(),
+        elapsed=0.0,
+        stats=stats,
+        covers=covers,
+    )
+    return result
+
+
+def _build_mapped_netlist(
+    source: Netlist, decomposed: Netlist, covers: list[ConeCover]
+) -> Netlist:
+    """Assemble the chosen selections into a mapped network.
+
+    Cluster roots keep their decomposed-network names, so selections
+    wire up across cone boundaries without renaming.
+    """
+    mapped = Netlist(source.name + ".mapped")
+    for pi in decomposed.inputs:
+        mapped.add_input(pi)
+    for node in decomposed.nodes.values():
+        if node.is_constant():
+            from ..boolean.expr import Const
+
+            assert isinstance(node.func, Const)
+            mapped.add_constant(node.name, node.func.value)
+    # Topologically safe insertion: gather all selections, then add in
+    # dependency order (a selection's fanins are PIs or other roots).
+    pending = {
+        sel.cluster.root: sel for cover in covers for sel in cover.selections
+    }
+    placed: set[str] = set(mapped.inputs) | {
+        n.name for n in mapped.nodes.values() if n.is_constant()
+    }
+    while pending:
+        progress = False
+        for root, sel in list(pending.items()):
+            fanins = sel.match.fanin_names(list(sel.cluster.leaves))
+            if all(f in placed for f in fanins):
+                pin_map = dict(zip(sel.match.cell.pins, fanins))
+                func = sel.match.cell.expression.rename(pin_map)
+                mapped.add_gate(root, func, fanins, cell=sel.match.cell)
+                placed.add(root)
+                del pending[root]
+                progress = True
+        if not progress:
+            raise RuntimeError("cyclic selection dependencies (internal error)")
+    for out in decomposed.outputs:
+        driver = decomposed.nodes[out].fanins[0]
+        mapped.add_output(out, driver)
+    return mapped

@@ -1,0 +1,95 @@
+"""Boolean matching of cluster functions against library cells.
+
+CERES matches with Boolean techniques rather than structural pattern
+matching: a cluster matches a cell iff their functions are equal under
+an input-pin permutation.  Truth tables with permutation-invariant
+signature pruning decide this cheaply at cell sizes.
+
+A match's *pin binding* also transports the cell's hazard annotation
+into cluster variable space, which is what the asynchronous filter of
+section 3.2.2 compares against the subnetwork being replaced.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Optional, Sequence
+
+from ..boolean import truthtable as tt
+from ..boolean.expr import Expr
+from ..library.cell import LibraryCell
+from ..library.library import Library
+
+
+@dataclass(frozen=True)
+class Match:
+    """A library cell matching a cluster function.
+
+    ``binding[i]`` is the index (into the cluster's leaf list) of the
+    signal driving cell pin ``i``.
+    """
+
+    cell: LibraryCell
+    binding: tuple[int, ...]
+
+    def fanin_names(self, leaves: Sequence[str]) -> list[str]:
+        return [leaves[self.binding[i]] for i in range(len(self.binding))]
+
+
+def expression_truth_table(expr: Expr, order: Sequence[str]) -> int:
+    """Dense truth table of an expression over an explicit ordering."""
+    table = 0
+    names = list(order)
+    for point in range(1 << len(names)):
+        env = {name: bool(point >> i & 1) for i, name in enumerate(names)}
+        if expr.evaluate(env):
+            table |= 1 << point
+    return table
+
+
+def find_matches(
+    library: Library,
+    table: int,
+    num_inputs: int,
+    limit_per_cell: Optional[int] = 1,
+) -> Iterator[Match]:
+    """Yield matches of a cluster truth table against the library.
+
+    Only cells with the same pin count and permutation-invariant
+    signature are tried (constant and degenerate cluster functions never
+    match a well-formed cell).  ``limit_per_cell`` bounds how many
+    distinct bindings to produce per cell — one suffices for hazard-free
+    cells, while the async filter may want alternatives for hazardous
+    ones.
+    """
+    mask = tt.table_mask(num_inputs)
+    table &= mask
+    if table == 0 or table == mask:
+        return
+    for cell in library.candidates(table, num_inputs):
+        count = 0
+        for perm in tt.match_permutations(
+            table, cell.truth_table(), num_inputs, limit=limit_per_cell
+        ):
+            yield Match(cell, perm)
+            count += 1
+            if limit_per_cell is not None and count >= limit_per_cell:
+                break
+
+
+def match_cluster(
+    library: Library,
+    expr: Expr,
+    leaves: Sequence[str],
+    limit_per_cell: Optional[int] = 1,
+) -> list[Match]:
+    """All cell matches for a cluster given by expression + leaf order."""
+    if len(leaves) > tt.TT_MAX_VARS:
+        return []
+    table = expression_truth_table(expr, leaves)
+    # Degenerate clusters (function ignores a leaf) rarely match a cell
+    # of that pin count and would bind a floating pin; skip them.
+    for i in range(len(leaves)):
+        if not tt.depends_on(table, i, len(leaves)):
+            return []
+    return list(find_matches(library, table, len(leaves), limit_per_cell))

@@ -1,0 +1,49 @@
+"""Logic-network substrate: netlists, decomposition, partitioning, simulation."""
+
+from .eventsim import (
+    Edge,
+    EventSimulator,
+    Waveform,
+    burst_response,
+    output_glitches,
+)
+from .decompose import async_tech_decomp, base_gate_kind, is_base_network, tech_decomp
+from .netlist import Netlist, NetlistError, Node, cover_to_expr
+from .partition import Cone, cone_depths, partition
+from .simulate import (
+    ONE,
+    X,
+    ZERO,
+    TernaryResult,
+    eichelberger,
+    eval_ternary,
+    simulate_ternary,
+    static_hazard_ternary,
+)
+
+__all__ = [
+    "Cone",
+    "Edge",
+    "EventSimulator",
+    "Waveform",
+    "burst_response",
+    "output_glitches",
+    "Netlist",
+    "NetlistError",
+    "Node",
+    "ONE",
+    "TernaryResult",
+    "X",
+    "ZERO",
+    "async_tech_decomp",
+    "base_gate_kind",
+    "cone_depths",
+    "cover_to_expr",
+    "eichelberger",
+    "eval_ternary",
+    "is_base_network",
+    "partition",
+    "simulate_ternary",
+    "static_hazard_ternary",
+    "tech_decomp",
+]

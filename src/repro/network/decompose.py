@@ -1,0 +1,164 @@
+"""Decomposition into two-input base gates (paper section 3.1.1).
+
+``async_tech_decomp`` rewrites every logic node into a tree of 2-input
+AND/OR gates plus inverters using *only* DeMorgan's theorem and the
+associative law — both hazard-preserving for all logic hazards (Unger),
+so the decomposed network has identical hazard behaviour to the source.
+
+``tech_decomp`` is the synchronous variant: it first *simplifies* each
+node's SOP (duplicate/contained/redundant-cube removal, as MIS does
+during decomposition).  Removing a redundant cube deletes the gate that
+held the output through some transition, so this step can introduce
+static-1 hazards — the asynchronous flow must never use it (Figure 3).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..boolean.expr import And, Const, Expr, Lit, Not, Or, Var
+from ..boolean.minimize import simplify_for_sync
+from .netlist import Netlist, NetlistError
+
+
+def async_tech_decomp(netlist: Netlist, balanced: bool = True) -> Netlist:
+    """Hazard-preserving decomposition into AND2/OR2/INV nodes."""
+    return _decompose(netlist, simplify=False, balanced=balanced)
+
+
+def tech_decomp(netlist: Netlist, balanced: bool = True) -> Netlist:
+    """Synchronous decomposition: simplification + same structuring.
+
+    .. warning:: the simplification step may introduce static-1 hazards;
+       appropriate only for the synchronous baseline mapper.
+    """
+    return _decompose(netlist, simplify=True, balanced=balanced)
+
+
+def _decompose(netlist: Netlist, simplify: bool, balanced: bool) -> Netlist:
+    netlist.validate()
+    result = Netlist(netlist.name + ".decomposed")
+    for pi in netlist.inputs:
+        result.add_input(pi)
+
+    signal_of: dict[str, str] = {pi: pi for pi in netlist.inputs}
+    inverter_of: dict[str, str] = {}
+
+    def invert(signal: str) -> str:
+        """Shared inverter for a signal (an INV is one more gate level;
+        sharing it is plain fanout and hazard-neutral)."""
+        if signal not in inverter_of:
+            gate = result.add_gate(
+                result.fresh_name(f"{signal}_inv"), Not(Var(signal)), [signal]
+            )
+            inverter_of[signal] = gate
+        return inverter_of[signal]
+
+    def emit_tree(op: str, signals: list[str]) -> str:
+        """Reduce a signal list with 2-input ``op`` gates.
+
+        ``balanced`` builds a balanced tree; otherwise a right-leaning
+        chain.  Either shape is reachable from the other by the
+        associative law alone, so both are hazard-preserving.
+        """
+        while len(signals) > 1:
+            if balanced:
+                next_level = []
+                for i in range(0, len(signals) - 1, 2):
+                    a, b = signals[i], signals[i + 1]
+                    func: Expr = (
+                        And((Var(a), Var(b))) if op == "and" else Or((Var(a), Var(b)))
+                    )
+                    next_level.append(
+                        result.add_gate(result.fresh_name(op), func, [a, b])
+                    )
+                if len(signals) % 2:
+                    next_level.append(signals[-1])
+                signals = next_level
+            else:
+                b = signals.pop()
+                a = signals.pop()
+                func = And((Var(a), Var(b))) if op == "and" else Or((Var(a), Var(b)))
+                signals.append(result.add_gate(result.fresh_name(op), func, [a, b]))
+        return signals[0]
+
+    def build(expr: Expr) -> str:
+        """Emit gates for an NNF expression (over decomposed signal
+        names); returns the root signal."""
+        if isinstance(expr, Lit):
+            return expr.name if expr.positive else invert(expr.name)
+        if isinstance(expr, Var):
+            return expr.name
+        if isinstance(expr, Const):
+            raise NetlistError("constant functions cannot be decomposed")
+        if isinstance(expr, And):
+            return emit_tree("and", [build(t) for t in expr.terms])
+        if isinstance(expr, Or):
+            return emit_tree("or", [build(t) for t in expr.terms])
+        raise NetlistError(f"unexpected node {expr!r} in NNF")
+
+    constants: dict[bool, str] = {}
+
+    def constant_signal(value: bool) -> str:
+        if value not in constants:
+            constants[value] = result.add_constant(
+                result.fresh_name("tie1" if value else "tie0"), value
+            )
+        return constants[value]
+
+    for name in netlist.topological_order():
+        node = netlist.nodes[name]
+        if node.is_input():
+            continue
+        if node.is_output():
+            continue
+        if node.is_constant():
+            assert isinstance(node.func, Const)
+            signal_of[name] = constant_signal(node.func.value)
+            continue
+        assert node.func is not None
+        func = node.func
+        if simplify:
+            ordering = sorted(func.support())
+            if ordering:
+                cover = simplify_for_sync(func.to_cover(ordering))
+                from .netlist import cover_to_expr
+
+                func = cover_to_expr(cover, ordering)
+        # DeMorgan to NNF (hazard-preserving), rename source fanins to
+        # their decomposed signals, then build the 2-input gate tree.
+        nnf = func.to_nnf().rename({f: signal_of[f] for f in node.fanins})
+        if isinstance(nnf, Const):
+            signal_of[name] = constant_signal(nnf.value)
+        else:
+            signal_of[name] = build(nnf)
+
+    for out in netlist.outputs:
+        driver = netlist.nodes[out].fanins[0]
+        result.add_output(out, signal_of[driver])
+    return result
+
+
+def is_base_network(netlist: Netlist) -> bool:
+    """True iff every gate is a 2-input AND/OR or an inverter."""
+    for node in netlist.gates():
+        func = node.func
+        if isinstance(func, Not) and isinstance(func.child, Var):
+            continue
+        if isinstance(func, (And, Or)) and len(func.terms) == 2 and all(
+            isinstance(t, Var) for t in func.terms
+        ):
+            continue
+        return False
+    return True
+
+
+def base_gate_kind(node_func: Optional[Expr]) -> str:
+    """Classify a base gate function: 'and', 'or', 'inv' or 'other'."""
+    if isinstance(node_func, Not) and isinstance(node_func.child, Var):
+        return "inv"
+    if isinstance(node_func, And):
+        return "and"
+    if isinstance(node_func, Or):
+        return "or"
+    return "other"

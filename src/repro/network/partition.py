@@ -1,0 +1,84 @@
+"""Cone partitioning (paper section 3.1.2).
+
+The decomposed network is broken at points of multiple fanout into
+single-output *cones* of logic; the covering step then treats each cone
+independently.  Partitioning itself does not alter hazard behaviour: it
+only decides where one replacement region ends and the next begins.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .netlist import Netlist
+
+
+@dataclass
+class Cone:
+    """A single-output, fanout-free region of the decomposed network.
+
+    ``root`` is the cone output; ``members`` the gate nodes inside (all
+    with single fanout except possibly the root); ``leaves`` the cone's
+    inputs — primary inputs or roots of other cones.
+    """
+
+    root: str
+    members: list[str] = field(default_factory=list)
+    leaves: list[str] = field(default_factory=list)
+
+    @property
+    def size(self) -> int:
+        return len(self.members)
+
+
+def partition(netlist: Netlist) -> list[Cone]:
+    """Split the network into cones at multi-fanout points.
+
+    Cone roots are primary-output drivers and every gate whose fanout
+    count exceeds one.  The returned list is in topological order of
+    roots (leaves-first), which is the order the covering step wants.
+    """
+    netlist.validate()
+    fanouts = netlist.fanouts()
+    output_drivers = {netlist.nodes[o].fanins[0] for o in netlist.outputs}
+    roots: set[str] = set()
+    for node in netlist.gates():
+        consumers = fanouts[node.name]
+        if node.name in output_drivers or len(consumers) > 1:
+            roots.add(node.name)
+    # Primary inputs directly driving outputs form degenerate cones the
+    # mapper handles as wires; skip them here.
+    cones: list[Cone] = []
+    order = netlist.topological_order()
+    for name in order:
+        if name not in roots:
+            continue
+        cone = Cone(root=name)
+        stack = [name]
+        seen: set[str] = set()
+        while stack:
+            current = stack.pop()
+            if current in seen:
+                continue
+            seen.add(current)
+            cone.members.append(current)
+            for fanin in netlist.nodes[current].fanins:
+                fanin_node = netlist.nodes[fanin]
+                if fanin_node.is_input() or fanin_node.is_constant() or fanin in roots:
+                    if fanin not in cone.leaves:
+                        cone.leaves.append(fanin)
+                else:
+                    stack.append(fanin)
+        cones.append(cone)
+    return cones
+
+
+def cone_depths(netlist: Netlist, cone: Cone) -> dict[str, int]:
+    """Logic depth of each cone member above the cone leaves."""
+    depth: dict[str, int] = {leaf: 0 for leaf in cone.leaves}
+    for name in netlist.topological_order():
+        if name not in cone.members:
+            continue
+        node = netlist.nodes[name]
+        depth[name] = 1 + max((depth.get(f, 0) for f in node.fanins), default=0)
+    return depth

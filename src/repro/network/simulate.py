@@ -1,0 +1,131 @@
+"""Binary and ternary (Eichelberger) simulation of logic networks.
+
+Ternary simulation is the classical hazard-detection technique the
+paper's section 4.2 improves upon: to check an input burst, changing
+inputs are first driven to the unknown value X and the network relaxed
+(procedure A), then set to their final values and relaxed again
+(procedure B).  If a node resolves away from X only in procedure B
+after matching initial/final values, some delay assignment can glitch
+it — a static hazard.  We use it as an independent oracle for the
+algebraic static-hazard algorithms.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from ..boolean.expr import And, Const, Expr, Lit, Not, Or, Var
+from .netlist import Netlist
+
+#: Ternary values.
+ZERO, ONE, X = 0, 1, 2
+
+
+def ternary_not(value: int) -> int:
+    if value == X:
+        return X
+    return ONE - value
+
+
+def ternary_and(values: list[int]) -> int:
+    if any(v == ZERO for v in values):
+        return ZERO
+    if all(v == ONE for v in values):
+        return ONE
+    return X
+
+
+def ternary_or(values: list[int]) -> int:
+    if any(v == ONE for v in values):
+        return ONE
+    if all(v == ZERO for v in values):
+        return ZERO
+    return X
+
+
+def eval_ternary(expr: Expr, env: Mapping[str, int]) -> int:
+    """Evaluate an expression in three-valued logic."""
+    if isinstance(expr, Var):
+        return env[expr.name]
+    if isinstance(expr, Lit):
+        value = env[expr.name]
+        return value if expr.positive else ternary_not(value)
+    if isinstance(expr, Const):
+        return ONE if expr.value else ZERO
+    if isinstance(expr, Not):
+        return ternary_not(eval_ternary(expr.child, env))
+    if isinstance(expr, And):
+        return ternary_and([eval_ternary(t, env) for t in expr.terms])
+    if isinstance(expr, Or):
+        return ternary_or([eval_ternary(t, env) for t in expr.terms])
+    raise TypeError(f"unexpected expression {expr!r}")
+
+
+def simulate_ternary(netlist: Netlist, env: Mapping[str, int]) -> dict[str, int]:
+    """Single ternary sweep in topological order."""
+    values: dict[str, int] = {}
+    for name in netlist.topological_order():
+        node = netlist.nodes[name]
+        if node.is_input():
+            values[name] = env[name]
+        elif node.is_output():
+            values[name] = values[node.fanins[0]]
+        else:
+            assert node.func is not None
+            values[name] = eval_ternary(node.func, values)
+    return values
+
+
+@dataclass(frozen=True)
+class TernaryResult:
+    """Outcome of an Eichelberger two-procedure run for one transition."""
+
+    went_unknown: dict[str, bool]
+    final: dict[str, int]
+
+    def output_hazard_possible(self, output: str) -> bool:
+        """Did the output pass through X although its endpoints agree?"""
+        return self.went_unknown[output]
+
+
+def eichelberger(
+    netlist: Netlist, start: Mapping[str, bool], end: Mapping[str, bool]
+) -> TernaryResult:
+    """Procedure A + B ternary analysis of the burst ``start → end``.
+
+    Returns, per output, whether the node was X after procedure A (the
+    potential-glitch indicator) and its resolved final value.  For a
+    static transition (equal endpoint values) an X during A certifies a
+    hazard — function or logic — under some delay assignment.
+    """
+    env_a: dict[str, int] = {}
+    for name in netlist.inputs:
+        if bool(start[name]) == bool(end[name]):
+            env_a[name] = ONE if start[name] else ZERO
+        else:
+            env_a[name] = X
+    values_a = simulate_ternary(netlist, env_a)
+
+    env_b = {name: (ONE if end[name] else ZERO) for name in netlist.inputs}
+    values_b = simulate_ternary(netlist, env_b)
+
+    went_unknown = {out: values_a[out] == X for out in netlist.outputs}
+    final = {out: values_b[out] for out in netlist.outputs}
+    return TernaryResult(went_unknown, final)
+
+
+def static_hazard_ternary(
+    netlist: Netlist, output: str, start: Mapping[str, bool], end: Mapping[str, bool]
+) -> bool:
+    """Ternary verdict: can ``output`` glitch on a static transition?
+
+    Only meaningful when the output's value agrees at both endpoints.
+    Ternary simulation conflates function and logic hazards; callers
+    filter function hazards first when the distinction matters.
+    """
+    values_start = netlist.evaluate(start)
+    values_end = netlist.evaluate(end)
+    if values_start[output] != values_end[output]:
+        raise ValueError("transition is not static for this output")
+    return eichelberger(netlist, start, end).output_hazard_possible(output)

@@ -1,0 +1,5 @@
+"""Reporting helpers."""
+
+from .tables import render_table
+
+__all__ = ["render_table"]

@@ -1,0 +1,47 @@
+"""Plain-text table rendering for the benchmark harness.
+
+The benchmark scripts print the same rows the paper's tables report;
+this module keeps the formatting in one place.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Render an ASCII table with right-padded columns."""
+    materialized = [[_fmt(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in materialized:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return "| " + " | ".join(c.ljust(widths[i]) for i, c in enumerate(cells)) + " |"
+
+    rule = "+" + "+".join("-" * (w + 2) for w in widths) + "+"
+    out = []
+    if title:
+        out.append(title)
+    out.append(rule)
+    out.append(line(list(headers)))
+    out.append(rule)
+    for row in materialized:
+        out.append(line(row))
+    out.append(rule)
+    return "\n".join(out)
+
+
+def _fmt(cell: object) -> str:
+    if isinstance(cell, float):
+        if cell >= 100:
+            return f"{cell:.0f}"
+        if cell >= 10:
+            return f"{cell:.1f}"
+        return f"{cell:.2f}"
+    return str(cell)

@@ -1,0 +1,130 @@
+"""Tests for the ROBDD engine."""
+
+import pytest
+from hypothesis import given
+
+from repro.boolean.bdd import BddManager
+from repro.boolean.cover import Cover
+from repro.boolean.expr import parse
+
+from ..conftest import cover_strategy
+
+
+class TestBasics:
+    def test_terminals(self):
+        m = BddManager(3)
+        assert m.zero != m.one
+        assert m.is_tautology(m.one)
+        assert not m.is_satisfiable(m.zero)
+
+    def test_var_evaluation(self):
+        m = BddManager(3)
+        v1 = m.var(1)
+        assert m.evaluate(v1, 0b010)
+        assert not m.evaluate(v1, 0b101)
+
+    def test_literal_negative(self):
+        m = BddManager(3)
+        lit = m.literal(0, False)
+        assert m.evaluate(lit, 0b110)
+        assert not m.evaluate(lit, 0b001)
+
+    def test_canonicity_same_function_same_node(self):
+        m = BddManager(3)
+        f1 = m.apply_or(m.apply_and(m.var(0), m.var(1)), m.var(2))
+        f2 = m.apply_or(m.var(2), m.apply_and(m.var(1), m.var(0)))
+        assert f1 == f2
+
+    def test_negate_involution(self):
+        m = BddManager(3)
+        f = m.apply_and(m.var(0), m.var(2))
+        assert m.negate(m.negate(f)) == f
+
+    def test_xor(self):
+        m = BddManager(2)
+        f = m.apply_xor(m.var(0), m.var(1))
+        assert m.evaluate(f, 0b01)
+        assert m.evaluate(f, 0b10)
+        assert not m.evaluate(f, 0b11)
+        assert not m.evaluate(f, 0b00)
+
+
+class TestIte:
+    def test_ite_mux_semantics(self):
+        m = BddManager(3)
+        f = m.ite(m.var(0), m.var(1), m.var(2))
+        for point in range(8):
+            s, a, b = point & 1, point >> 1 & 1, point >> 2 & 1
+            assert m.evaluate(f, point) == bool(a if s else b)
+
+    @given(cover_strategy(4), cover_strategy(4))
+    def test_boolean_ops_match_cover_semantics(self, c1, c2):
+        m = BddManager(4)
+        f1, f2 = m.from_cover(c1), m.from_cover(c2)
+        land = m.apply_and(f1, f2)
+        lor = m.apply_or(f1, f2)
+        for p in range(16):
+            assert m.evaluate(land, p) == (c1.evaluate(p) and c2.evaluate(p))
+            assert m.evaluate(lor, p) == (c1.evaluate(p) or c2.evaluate(p))
+
+
+class TestQueries:
+    @given(cover_strategy(4))
+    def test_sat_count(self, cover):
+        m = BddManager(4)
+        node = m.from_cover(cover)
+        assert m.sat_count(node) == len(cover.minterms())
+
+    @given(cover_strategy(4))
+    def test_any_sat_is_satisfying(self, cover):
+        m = BddManager(4)
+        node = m.from_cover(cover)
+        point = m.any_sat(node)
+        if point is None:
+            assert not cover.minterms()
+        else:
+            assert cover.evaluate(point)
+
+    @given(cover_strategy(4))
+    def test_restrict(self, cover):
+        m = BddManager(4)
+        node = m.from_cover(cover)
+        for var in range(4):
+            for value in (False, True):
+                restricted = m.restrict(node, var, value)
+                for p in range(16):
+                    fixed = (p | 1 << var) if value else (p & ~(1 << var))
+                    assert m.evaluate(restricted, fixed) == cover.evaluate(fixed)
+
+    def test_support(self):
+        m = BddManager(4)
+        node = m.from_expr(parse("a*c'"), ["a", "b", "c", "d"])
+        assert m.support(node) == {0, 2}
+
+    def test_size_counts_internal_nodes(self):
+        m = BddManager(2)
+        assert m.size(m.one) == 0
+        assert m.size(m.var(0)) == 1
+
+
+class TestBuilders:
+    @given(cover_strategy(4))
+    def test_from_cover_semantics(self, cover):
+        m = BddManager(4)
+        node = m.from_cover(cover)
+        for p in range(16):
+            assert m.evaluate(node, p) == cover.evaluate(p)
+
+    def test_from_expr_matches_expr(self):
+        m = BddManager(3)
+        expr = parse("(a + b')*c")
+        node = m.from_expr(expr, ["a", "b", "c"])
+        for p in range(8):
+            env = {"a": bool(p & 1), "b": bool(p >> 1 & 1), "c": bool(p >> 2 & 1)}
+            assert m.evaluate(node, p) == expr.evaluate(env)
+
+    def test_equivalence_checking_use_case(self):
+        m = BddManager(3)
+        sop = m.from_expr(parse("s'*a + s*b + a*b"), ["a", "b", "s"])
+        factored = m.from_expr(parse("s'*a + s*b"), ["a", "b", "s"])
+        assert sop == factored  # same function, canonical node

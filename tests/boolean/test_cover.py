@@ -1,0 +1,201 @@
+"""Unit and property tests for SOP covers."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.boolean.cover import Cover
+from repro.boolean.cube import Cube
+
+from ..conftest import cover_strategy, cube_strategy
+
+NAMES = ["a", "b", "c", "d"]
+
+
+class TestConstruction:
+    def test_empty_is_constant_zero(self):
+        cover = Cover.empty(4)
+        assert not any(cover.evaluate(p) for p in range(16))
+
+    def test_one_is_constant_one(self):
+        cover = Cover.one(4)
+        assert all(cover.evaluate(p) for p in range(16))
+
+    def test_from_strings(self):
+        cover = Cover.from_strings(["ab", "c'd"], NAMES)
+        assert len(cover) == 2
+        assert cover.to_string(NAMES) == "ab + c'd"
+
+    def test_from_minterms(self):
+        cover = Cover.from_minterms([0, 3, 5], 3)
+        assert cover.minterms() == {0, 3, 5}
+
+    def test_from_function(self):
+        cover = Cover.from_function(lambda p: p % 2 == 1, 3)
+        assert cover.minterms() == {1, 3, 5, 7}
+
+    def test_universe_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            Cover([Cube.universe(3)], 4)
+
+
+class TestEvaluation:
+    @given(cover_strategy(4))
+    def test_evaluate_matches_minterm_union(self, cover):
+        points = cover.minterms()
+        for p in range(16):
+            assert cover.evaluate(p) == (p in points)
+
+    @given(cover_strategy(4))
+    def test_truth_table_matches_evaluate(self, cover):
+        table = cover.truth_table()
+        for p in range(16):
+            assert bool(table >> p & 1) == cover.evaluate(p)
+
+    def test_num_literals_is_area_proxy(self):
+        cover = Cover.from_strings(["ab", "c'd", "a"], NAMES)
+        assert cover.num_literals() == 5
+
+
+class TestTautologyAndContainment:
+    def test_complementary_literals_are_tautology(self):
+        assert Cover.from_strings(["a", "a'"], NAMES).is_tautology()
+
+    def test_partial_cover_is_not_tautology(self):
+        assert not Cover.from_strings(["ab", "a'c"], NAMES).is_tautology()
+
+    def test_shannon_tautology(self):
+        cover = Cover.from_strings(["ab", "ab'", "a'c", "a'c'"], NAMES)
+        assert cover.is_tautology()
+
+    @given(cover_strategy(4))
+    def test_tautology_matches_brute_force(self, cover):
+        assert cover.is_tautology() == all(cover.evaluate(p) for p in range(16))
+
+    @given(cover_strategy(4), cube_strategy(4))
+    def test_contains_cube_matches_brute_force(self, cover, cube):
+        expected = all(cover.evaluate(p) for p in cube.minterms())
+        assert cover.contains_cube(cube) == expected
+
+    def test_single_cube_containment_differs_from_functional(self):
+        # The consensus cube bc is an implicant but no single gate holds
+        # it — the hazard-relevant distinction (section 2.3).
+        cover = Cover.from_strings(["ab", "a'c"], NAMES)
+        consensus = Cube.from_string("bc", NAMES)
+        assert cover.contains_cube(consensus)
+        assert not cover.single_cube_contains(consensus)
+
+    @given(cover_strategy(3), cover_strategy(3))
+    def test_equivalent_matches_truth_tables(self, c1, c2):
+        assert c1.equivalent(c2) == (c1.truth_table() == c2.truth_table())
+
+
+class TestCofactor:
+    @given(cover_strategy(4), cube_strategy(4))
+    def test_cofactor_semantics(self, cover, cube):
+        cofactor = cover.cofactor(cube)
+        # For points inside the cube, cofactor(free part) == f(point).
+        for point in cube.minterms():
+            assert cofactor.evaluate(point) == cover.evaluate(point)
+
+    @given(cover_strategy(4))
+    def test_cofactor_var_semantics(self, cover):
+        for var in range(4):
+            for value in (False, True):
+                cofactor = cover.cofactor_var(var, value)
+                for p in range(16):
+                    fixed = (p | (1 << var)) if value else (p & ~(1 << var))
+                    assert cofactor.evaluate(fixed) == cover.evaluate(fixed)
+
+
+class TestComplement:
+    @given(cover_strategy(4))
+    def test_complement_is_negation(self, cover):
+        complement = cover.complement()
+        for p in range(16):
+            assert complement.evaluate(p) == (not cover.evaluate(p))
+
+    def test_complement_of_empty_is_one(self):
+        assert Cover.empty(3).complement().is_tautology()
+
+    def test_complement_of_one_is_empty(self):
+        assert not Cover.one(3).complement().cubes
+
+
+class TestPrimes:
+    def test_expand_to_prime(self):
+        cover = Cover.from_strings(["ab", "ab'"], NAMES)  # f = a
+        prime = cover.expand_to_prime(Cube.from_string("ab", NAMES))
+        assert prime.to_string(NAMES) == "a"
+
+    def test_expand_non_implicant_rejected(self):
+        cover = Cover.from_strings(["ab"], NAMES)
+        with pytest.raises(ValueError):
+            cover.expand_to_prime(Cube.from_string("a", NAMES))
+
+    def test_is_prime(self):
+        cover = Cover.from_strings(["ab", "a'c"], NAMES)
+        assert cover.is_prime(Cube.from_string("ab", NAMES))
+        assert cover.is_prime(Cube.from_string("bc", NAMES))
+        assert not cover.is_prime(Cube.from_string("abc", NAMES))
+
+    def test_all_primes_classic_consensus(self):
+        # f = ab + a'c has exactly three primes: ab, a'c, bc.
+        cover = Cover.from_strings(["ab", "a'c"], NAMES)
+        primes = {p.to_string(NAMES) for p in cover.all_primes()}
+        assert primes == {"ab", "a'c", "bc"}
+
+    @given(cover_strategy(4, max_cubes=4))
+    @settings(max_examples=40, deadline=None)
+    def test_all_primes_are_prime_and_cover_function(self, cover):
+        primes = cover.all_primes()
+        union = Cover(primes, 4)
+        assert union.equivalent(cover)
+        for prime in primes:
+            assert cover.is_prime(prime)
+
+
+class TestSimplifications:
+    def test_dedup_keeps_first(self):
+        cube = Cube.from_string("ab", NAMES)
+        cover = Cover([cube, cube], 4)
+        assert len(cover.dedup()) == 1
+
+    def test_drop_contained(self):
+        cover = Cover.from_strings(["a", "ab"], NAMES)
+        dropped = cover.drop_contained()
+        assert [c.to_string(NAMES) for c in dropped] == ["a"]
+
+    def test_irredundant_removes_consensus(self):
+        cover = Cover.from_strings(["ab", "a'c", "bc"], NAMES)
+        irred = cover.irredundant()
+        assert len(irred) == 2
+        assert irred.equivalent(cover)
+
+    @given(cover_strategy(4))
+    def test_irredundant_preserves_function(self, cover):
+        assert cover.irredundant().equivalent(cover)
+
+
+class TestSetOperations:
+    @given(cover_strategy(4), cover_strategy(4))
+    def test_intersect_semantics(self, c1, c2):
+        product = c1.intersect(c2)
+        for p in range(16):
+            assert product.evaluate(p) == (c1.evaluate(p) and c2.evaluate(p))
+
+    @given(cover_strategy(4), cover_strategy(4))
+    def test_xor_semantics(self, c1, c2):
+        xor = c1.xor(c2)
+        for p in range(16):
+            assert xor.evaluate(p) == (c1.evaluate(p) != c2.evaluate(p))
+
+    @given(cover_strategy(4), cover_strategy(4))
+    def test_union_semantics(self, c1, c2):
+        union = c1.union(c2)
+        for p in range(16):
+            assert union.evaluate(p) == (c1.evaluate(p) or c2.evaluate(p))
+
+    def test_remap(self):
+        cover = Cover.from_strings(["ab'"], NAMES)
+        remapped = cover.remap([1, 0, 2, 3], 4)
+        assert remapped.to_string(NAMES) == "a'b"

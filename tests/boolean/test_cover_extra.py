@@ -1,0 +1,88 @@
+"""Additional cover/cube behaviours: formatting, hashes, edge cases."""
+
+from hypothesis import given, settings
+
+from repro.boolean.cover import Cover
+from repro.boolean.cube import Cube
+
+from ..conftest import cover_strategy, cube_strategy
+
+NAMES = ["a", "b", "c", "d"]
+
+
+class TestFormatting:
+    def test_cover_to_string_empty(self):
+        assert Cover.empty(3).to_string() == "0"
+
+    def test_cover_to_string_universe(self):
+        assert Cover.one(3).to_string() == "1"
+
+    def test_repr_round_readable(self):
+        cover = Cover.from_strings(["ab"], NAMES)
+        assert "11--" in repr(cover)
+        assert "Cube" in repr(cover.cubes[0])
+
+    def test_default_names(self):
+        cube = Cube.from_pattern("1-0")
+        assert cube.to_string() == "x0x2'"
+
+
+class TestStructuralEquality:
+    def test_cover_equality_is_structural(self):
+        c1 = Cover.from_strings(["ab", "cd"], NAMES)
+        c2 = Cover.from_strings(["cd", "ab"], NAMES)
+        assert c1 != c2  # different gate lists
+        assert c1.equivalent(c2)  # same function
+
+    @given(cover_strategy(4))
+    def test_cover_hashable(self, cover):
+        assert hash(cover) == hash(Cover(list(cover.cubes), 4))
+
+
+class TestEdgeCases:
+    def test_zero_variable_universe(self):
+        cube = Cube.universe(0)
+        assert cube.size() == 1
+        assert list(cube.minterms()) == [0]
+
+    def test_empty_cover_complement_is_one(self):
+        complement = Cover.empty(2).complement()
+        assert complement.is_tautology()
+
+    @given(cube_strategy(4))
+    @settings(max_examples=30)
+    def test_cofactor_of_self_is_universe(self, cube):
+        cofactor = cube.cofactor(cube)
+        assert cofactor is not None
+        assert cofactor.is_universe()
+
+    @given(cover_strategy(4))
+    @settings(max_examples=30, deadline=None)
+    def test_double_complement_is_identity_function(self, cover):
+        assert cover.complement().complement().equivalent(cover)
+
+    @given(cube_strategy(4), cube_strategy(4))
+    @settings(max_examples=40)
+    def test_supercube_is_minimal(self, c1, c2):
+        sup = c1.supercube(c2)
+        # removing any bound literal of the supercube keeps containment,
+        # but every bound literal must be bound in both inputs
+        for var in range(4):
+            bit = 1 << var
+            if sup.used & bit:
+                assert c1.used & bit and c2.used & bit
+                assert (c1.phase & bit) == (c2.phase & bit) == (sup.phase & bit)
+
+    def test_with_universe_embeds(self):
+        cube = Cube.from_pattern("10")
+        wider = cube.with_universe(4)
+        assert wider.nvars == 4
+        assert wider.to_pattern() == "10--"
+
+    def test_with_universe_cannot_shrink(self):
+        cube = Cube.from_pattern("10--")
+        try:
+            cube.with_universe(2)
+        except ValueError:
+            return
+        raise AssertionError("expected ValueError")

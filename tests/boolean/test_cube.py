@@ -1,0 +1,216 @@
+"""Unit and property tests for the USED/PHASE cube representation."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.boolean.cube import Cube, bit_indices, popcount
+
+from ..conftest import cube_strategy
+
+NAMES = ["a", "b", "c", "d"]
+
+
+class TestConstruction:
+    def test_universe_has_no_literals(self):
+        cube = Cube.universe(4)
+        assert cube.num_literals == 0
+        assert cube.size() == 16
+        assert cube.is_universe()
+
+    def test_phase_normalized_to_used(self):
+        cube = Cube(0b0011, 0b1111, 4)
+        assert cube.phase == 0b0011
+
+    def test_used_outside_universe_rejected(self):
+        with pytest.raises(ValueError):
+            Cube(0b10000, 0, 4)
+
+    def test_from_string_round_trip(self):
+        cube = Cube.from_string("ab'd", NAMES)
+        assert cube.to_string(NAMES) == "ab'd"
+        assert cube.num_literals == 3
+
+    def test_from_string_conflicting_polarity_rejected(self):
+        with pytest.raises(ValueError):
+            Cube.from_string("aa'", NAMES)
+
+    def test_from_pattern(self):
+        cube = Cube.from_pattern("1-0")
+        assert cube.to_pattern() == "1-0"
+        assert cube.contains_point(0b001)
+        assert not cube.contains_point(0b101)
+
+    def test_minterm(self):
+        cube = Cube.minterm(0b0110, 4)
+        assert cube.is_minterm()
+        assert list(cube.minterms()) == [0b0110]
+
+
+class TestContainmentAndIntersection:
+    def test_universe_contains_everything(self):
+        universe = Cube.universe(4)
+        assert universe.contains(Cube.from_string("ab'c", NAMES))
+
+    def test_containment_is_minterm_subset(self):
+        big = Cube.from_string("a", NAMES)
+        small = Cube.from_string("ab'", NAMES)
+        assert big.contains(small)
+        assert not small.contains(big)
+
+    def test_disjoint_cubes_do_not_intersect(self):
+        assert not Cube.from_string("a", NAMES).intersects(
+            Cube.from_string("a'", NAMES)
+        )
+
+    def test_intersection_binds_both(self):
+        inter = Cube.from_string("ab", NAMES).intersection(
+            Cube.from_string("cd'", NAMES)
+        )
+        assert inter is not None
+        assert inter.to_string(NAMES) == "abcd'"
+
+    def test_mismatched_universes_rejected(self):
+        with pytest.raises(ValueError):
+            Cube.universe(3).contains(Cube.universe(4))
+
+    @given(cube_strategy(4), cube_strategy(4))
+    def test_intersection_matches_point_semantics(self, c1, c2):
+        inter = c1.intersection(c2)
+        points = set(c1.minterms()) & set(c2.minterms())
+        if inter is None:
+            assert not points
+        else:
+            assert set(inter.minterms()) == points
+
+    @given(cube_strategy(4), cube_strategy(4))
+    def test_containment_matches_point_semantics(self, c1, c2):
+        expected = set(c2.minterms()) <= set(c1.minterms())
+        assert c1.contains(c2) == expected
+
+
+class TestSupercubeAndConsensus:
+    def test_supercube_of_minterms_is_transition_space(self):
+        # Definition 4.2: T[alpha, beta] is the smallest cube with both.
+        a = Cube.minterm(0b0001, 4)
+        b = Cube.minterm(0b0111, 4)
+        space = a.supercube(b)
+        assert space.to_pattern() == "1--0"
+
+    @given(cube_strategy(4), cube_strategy(4))
+    def test_supercube_contains_both(self, c1, c2):
+        sup = c1.supercube(c2)
+        assert sup.contains(c1)
+        assert sup.contains(c2)
+
+    def test_conflicts_bitvector_matches_paper_definition(self):
+        # CONFLICTS = (u1 & u2) & (p1 ^ p2) — section 4.1.1.
+        c1 = Cube.from_string("ab", NAMES)
+        c2 = Cube.from_string("a'c", NAMES)
+        assert c1.conflicts(c2) == 0b0001
+        assert c1.is_adjacent(c2)
+
+    def test_consensus_masks_conflict_literal(self):
+        c1 = Cube.from_string("sa", ["s", "a", "b"])
+        c2 = Cube.from_string("s'b", ["s", "a", "b"])
+        consensus = c1.consensus(c2)
+        assert consensus is not None
+        assert consensus.to_string(["s", "a", "b"]) == "ab"
+
+    def test_no_consensus_for_distance_two(self):
+        c1 = Cube.from_string("ab", NAMES)
+        c2 = Cube.from_string("a'b'", NAMES)
+        assert c1.consensus(c2) is None
+
+    def test_no_consensus_for_disjoint_support_cubes(self):
+        assert Cube.from_string("ab", NAMES).consensus(
+            Cube.from_string("cd", NAMES)
+        ) is None
+
+    @given(cube_strategy(4), cube_strategy(4))
+    def test_consensus_is_implicant_of_union(self, c1, c2):
+        consensus = c1.consensus(c2)
+        if consensus is None:
+            return
+        union = set(c1.minterms()) | set(c2.minterms())
+        assert set(consensus.minterms()) <= union
+
+
+class TestCofactorsAndTransforms:
+    def test_cofactor_var_frees_variable(self):
+        cube = Cube.from_string("ab'", NAMES)
+        cofactor = cube.cofactor_var(0, True)
+        assert cofactor is not None
+        assert cofactor.to_string(NAMES) == "b'"
+
+    def test_cofactor_var_conflict_is_empty(self):
+        assert Cube.from_string("a", NAMES).cofactor_var(0, False) is None
+
+    def test_flip_var(self):
+        flipped = Cube.from_string("abc", NAMES).flip_var(1)
+        assert flipped.to_string(NAMES) == "ab'c"
+
+    def test_flip_free_var_rejected(self):
+        with pytest.raises(ValueError):
+            Cube.from_string("a", NAMES).flip_var(2)
+
+    def test_expand_var_raises_cube(self):
+        cube = Cube.from_string("ab", NAMES)
+        assert cube.expand_var(0).to_string(NAMES) == "b"
+
+    def test_remap_permutes_variables(self):
+        cube = Cube.from_string("ab'", NAMES)
+        remapped = cube.remap([3, 2, 1, 0], 4)
+        assert remapped.to_string(NAMES) == "c'd"
+
+    def test_remap_rejects_non_injective(self):
+        with pytest.raises(ValueError):
+            Cube.from_string("ab", NAMES).remap([0, 0, 2, 3], 4)
+
+    def test_remap_with_polarity(self):
+        cube = Cube.from_string("ab'", NAMES)
+        remapped = cube.remap_with_polarity(
+            [(0, True), (1, True), (2, False), (3, False)], 4
+        )
+        assert remapped.to_string(NAMES) == "a'b"
+
+    @given(cube_strategy(4))
+    def test_remap_identity(self, cube):
+        assert cube.remap([0, 1, 2, 3], 4) == cube
+
+
+class TestEnumeration:
+    @given(cube_strategy(4))
+    def test_size_matches_minterm_count(self, cube):
+        assert cube.size() == len(list(cube.minterms()))
+
+    @given(cube_strategy(4))
+    def test_minterms_all_contained(self, cube):
+        for point in cube.minterms():
+            assert cube.contains_point(point)
+
+    def test_distance_counts_conflicts(self):
+        c1 = Cube.from_string("ab c", NAMES.copy())
+        c2 = Cube.from_string("a'b'c", NAMES)
+        assert c1.distance(c2) == 2
+
+
+class TestBitHelpers:
+    @given(st.integers(min_value=0, max_value=2**40))
+    def test_popcount(self, value):
+        assert popcount(value) == bin(value).count("1")
+
+    @given(st.integers(min_value=0, max_value=2**40))
+    def test_bit_indices_reconstruct(self, value):
+        assert sum(1 << i for i in bit_indices(value)) == value
+
+
+class TestHashingAndEquality:
+    @given(cube_strategy(4))
+    def test_equal_cubes_hash_equal(self, cube):
+        clone = Cube(cube.used, cube.phase, cube.nvars)
+        assert clone == cube
+        assert hash(clone) == hash(cube)
+
+    def test_distinct_universes_not_equal(self):
+        assert Cube(0, 0, 3) != Cube(0, 0, 4)

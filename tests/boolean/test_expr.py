@@ -1,0 +1,185 @@
+"""Tests for Boolean-factored-form expressions and the parser."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.boolean.expr import (
+    And,
+    Const,
+    Expr,
+    Lit,
+    Not,
+    Or,
+    Var,
+    parse,
+    sorted_support,
+)
+
+
+def expr_strategy(depth: int = 3) -> st.SearchStrategy[Expr]:
+    names = st.sampled_from(["a", "b", "c", "d"])
+    base = st.one_of(names.map(Var), st.booleans().map(Const))
+    return st.recursive(
+        base,
+        lambda children: st.one_of(
+            children.map(Not),
+            st.lists(children, min_size=2, max_size=3).map(lambda t: And(tuple(t))),
+            st.lists(children, min_size=2, max_size=3).map(lambda t: Or(tuple(t))),
+        ),
+        max_leaves=8,
+    )
+
+
+def eval_all(expr: Expr) -> dict[tuple, bool]:
+    names = sorted(expr.support()) or ["a"]
+    table = {}
+    for point in range(1 << len(names)):
+        env = {n: bool(point >> i & 1) for i, n in enumerate(names)}
+        table[tuple(sorted(env.items()))] = expr.evaluate(env)
+    return table
+
+
+class TestParser:
+    def test_simple_sop(self):
+        expr = parse("s'*a + s*b")
+        assert sorted(expr.support()) == ["a", "b", "s"]
+        assert expr.evaluate({"s": False, "a": True, "b": False})
+        assert not expr.evaluate({"s": True, "a": True, "b": False})
+
+    def test_juxtaposition_is_and(self):
+        assert parse("a b").evaluate({"a": True, "b": True})
+        assert not parse("a b").evaluate({"a": True, "b": False})
+
+    def test_postfix_complement(self):
+        expr = parse("(a + b)'")
+        assert expr.evaluate({"a": False, "b": False})
+        assert not expr.evaluate({"a": True, "b": False})
+
+    def test_prefix_complement(self):
+        assert parse("!a").evaluate({"a": False})
+
+    def test_double_complement(self):
+        assert parse("a''").evaluate({"a": True})
+
+    def test_constants(self):
+        assert parse("1").evaluate({})
+        assert not parse("0").evaluate({})
+
+    def test_multichar_identifiers(self):
+        expr = parse("req*ack' + grant")
+        assert sorted(expr.support()) == ["ack", "grant", "req"]
+
+    def test_unbalanced_parens_rejected(self):
+        with pytest.raises(ValueError):
+            parse("(a + b")
+
+    def test_trailing_junk_rejected(self):
+        with pytest.raises(ValueError):
+            parse("a + b )")
+
+    def test_precedence_and_over_or(self):
+        expr = parse("a + b*c")
+        assert expr.evaluate({"a": True, "b": False, "c": False})
+        assert not expr.evaluate({"a": False, "b": True, "c": False})
+
+    @given(expr_strategy())
+    def test_print_parse_round_trip(self, expr):
+        reparsed = parse(expr.to_string())
+        assert eval_all(reparsed) == eval_all(expr)
+
+
+class TestNnf:
+    @given(expr_strategy())
+    def test_nnf_preserves_function(self, expr):
+        assert eval_all(expr.to_nnf()) == eval_all(expr)
+
+    @given(expr_strategy())
+    def test_nnf_negate_is_complement(self, expr):
+        negated = expr.to_nnf(negate=True)
+        names = sorted(expr.support())
+        for point in range(1 << len(names)):
+            env = {n: bool(point >> i & 1) for i, n in enumerate(names)}
+            assert negated.evaluate(env) == (not expr.evaluate(env))
+
+    def test_nnf_has_no_not_nodes(self):
+        def check(node):
+            assert not isinstance(node, Not)
+            for child in node.children():
+                check(child)
+
+        check(parse("((a*b)' + c)'").to_nnf())
+
+
+class TestFlattening:
+    @given(expr_strategy())
+    def test_to_cover_preserves_function(self, expr):
+        names = sorted(expr.support())
+        if not names:
+            return
+        cover = expr.to_cover(names)
+        for point in range(1 << len(names)):
+            env = {n: bool(point >> i & 1) for i, n in enumerate(names)}
+            assert cover.evaluate(point) == expr.evaluate(env)
+
+    def test_distribution_keeps_structure_cubes(self):
+        # (a + b)(a + c) flattens to a, ac, ab, bc — including the
+        # absorbed cubes that matter for hazard analysis.
+        expr = parse("(a + b)*(a + c)")
+        cover = expr.to_cover(["a", "b", "c"])
+        patterns = {c.to_string(["a", "b", "c"]) for c in cover}
+        assert patterns == {"a", "ac", "ab", "bc"}
+
+    def test_vacuous_products_dropped_by_default(self):
+        expr = parse("(a + b)*(a' + c)")
+        cover = expr.to_cover(["a", "b", "c"])
+        patterns = {c.to_string(["a", "b", "c"]) for c in cover}
+        assert "aa'" not in str(patterns)
+        assert patterns == {"ac", "a'b", "bc"}
+
+    def test_missing_variable_in_ordering_rejected(self):
+        with pytest.raises(ValueError):
+            parse("a*b").to_cover(["a"])
+
+
+class TestStructureMetrics:
+    def test_num_literals_counts_occurrences(self):
+        assert parse("a*b + a*c").num_literals() == 4
+        assert parse("a*(b + c)").num_literals() == 3
+
+    def test_depth(self):
+        assert Var("a").depth() == 0
+        assert parse("a*b").depth() == 1
+        assert parse("(a + b)*c").depth() == 2
+
+    def test_inverter_depth(self):
+        assert parse("a'").depth() == 0  # literal, not a gate level
+        assert Not(parse("a*b")).depth() == 2
+
+
+class TestSubstitution:
+    def test_rename(self):
+        expr = parse("x*y'").rename({"x": "a", "y": "b"})
+        assert sorted(expr.support()) == ["a", "b"]
+
+    def test_substitute_expression(self):
+        expr = parse("x + y").substitute({"x": parse("a*b")})
+        assert expr.evaluate({"a": True, "b": True, "y": False})
+        assert not expr.evaluate({"a": True, "b": False, "y": False})
+
+    def test_substitute_into_negative_literal(self):
+        expr = parse("x'").to_nnf().substitute({"x": parse("a*b")})
+        assert expr.evaluate({"a": False, "b": True})
+        assert not expr.evaluate({"a": True, "b": True})
+
+
+class TestOperators:
+    def test_dunder_combinators(self):
+        a, b = Var("a"), Var("b")
+        expr = (a & b) | ~a
+        assert expr.evaluate({"a": False, "b": False})
+        assert expr.evaluate({"a": True, "b": True})
+        assert not expr.evaluate({"a": True, "b": False})
+
+    def test_sorted_support(self):
+        assert sorted_support(parse("z + a*m")) == ["a", "m", "z"]

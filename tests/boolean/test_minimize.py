@@ -1,0 +1,169 @@
+"""Tests for two-level minimization and the covering solver."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.boolean.cover import Cover
+from repro.boolean.cube import Cube
+from repro.boolean.minimize import (
+    CoveringProblem,
+    complete_sum,
+    essential_primes,
+    make_hazard_free_static,
+    minimize_exact,
+    simplify_for_sync,
+)
+from repro.hazards.static1 import has_static1_hazard
+
+from ..conftest import cover_strategy
+
+NAMES = ["a", "b", "c", "d"]
+
+
+class TestCoveringProblem:
+    def test_single_row(self):
+        problem = CoveringProblem([{0, 1}], [3.0, 1.0])
+        assert problem.solve() == [1]
+
+    def test_essential_column(self):
+        problem = CoveringProblem([{0}, {0, 1}], [1.0, 1.0])
+        assert problem.solve() == [0]
+
+    def test_classic_cyclic_core(self):
+        rows = [{0, 1}, {1, 2}, {2, 3}, {3, 0}]
+        solution = CoveringProblem(rows, [1.0] * 4).solve()
+        assert len(solution) == 2
+        for row in rows:
+            assert row & set(solution)
+
+    def test_weighted_prefers_cheap(self):
+        problem = CoveringProblem([{0, 1}, {0, 1}], [10.0, 1.0])
+        assert problem.solve() == [1]
+
+    def test_uncoverable_row_rejected(self):
+        with pytest.raises(ValueError):
+            CoveringProblem([set()], [])
+
+    def test_exactness_small_instances(self):
+        import itertools
+        import random
+
+        rng = random.Random(5)
+        for _ in range(30):
+            ncols = rng.randint(2, 6)
+            rows = [
+                set(rng.sample(range(ncols), rng.randint(1, ncols)))
+                for _ in range(rng.randint(1, 6))
+            ]
+            costs = [float(rng.randint(1, 5)) for _ in range(ncols)]
+            got = CoveringProblem(rows, costs).solve()
+            got_cost = sum(costs[c] for c in got)
+            best = min(
+                (
+                    sum(costs[c] for c in subset)
+                    for size in range(ncols + 1)
+                    for subset in itertools.combinations(range(ncols), size)
+                    if all(row & set(subset) for row in rows)
+                ),
+            )
+            assert got_cost == pytest.approx(best)
+
+
+class TestMinimizeExact:
+    def test_classic_consensus_drop(self):
+        cover = Cover.from_strings(["ab", "a'c", "bc"], NAMES)
+        minimized = minimize_exact(cover)
+        assert len(minimized) == 2
+        assert minimized.equivalent(cover)
+
+    @given(cover_strategy(4, max_cubes=4))
+    @settings(max_examples=30, deadline=None)
+    def test_preserves_function(self, cover):
+        assert minimize_exact(cover).equivalent(cover)
+
+    @given(cover_strategy(4, max_cubes=4))
+    @settings(max_examples=30, deadline=None)
+    def test_never_larger_than_input(self, cover):
+        assert len(minimize_exact(cover)) <= len(cover.dedup())
+
+    def test_empty(self):
+        assert len(minimize_exact(Cover.empty(3))) == 0
+
+
+class TestHazardRelatedTransforms:
+    def test_complete_sum_is_static1_free(self):
+        cover = Cover.from_strings(["ab", "a'c"], NAMES)
+        assert has_static1_hazard(cover)
+        assert not has_static1_hazard(complete_sum(cover))
+
+    def test_simplify_for_sync_can_introduce_hazards(self):
+        # The Figure-3 effect: simplification drops the consensus cube.
+        cover = Cover.from_strings(["ab", "a'c", "bc"], NAMES)
+        assert not has_static1_hazard(cover)
+        simplified = simplify_for_sync(cover)
+        assert simplified.equivalent(cover)
+        assert has_static1_hazard(simplified)
+
+    def test_make_hazard_free_static_adds_consensus(self):
+        cover = Cover.from_strings(["ab", "a'c"], NAMES)
+        repaired = make_hazard_free_static(cover)
+        assert repaired.equivalent(cover)
+        assert not has_static1_hazard(repaired)
+        # The original gates are all still present.
+        for cube in cover:
+            assert cube in repaired.cubes
+
+    @given(cover_strategy(4, max_cubes=4))
+    @settings(max_examples=25, deadline=None)
+    def test_make_hazard_free_static_property(self, cover):
+        repaired = make_hazard_free_static(cover)
+        assert repaired.equivalent(cover)
+        assert not has_static1_hazard(repaired)
+
+
+class TestEssentialPrimes:
+    def test_essentials_of_xor_like(self):
+        cover = Cover.from_strings(["ab'", "a'b"], NAMES)
+        primes = cover.all_primes()
+        essentials = essential_primes(cover, primes)
+        assert {p.to_string(NAMES) for p in essentials} == {"ab'", "a'b"}
+
+
+class TestEspressoLite:
+    def test_consensus_drop(self):
+        from repro.boolean.minimize import espresso_lite
+
+        cover = Cover.from_strings(["ab", "a'c", "bc"], NAMES)
+        result = espresso_lite(cover)
+        assert result.equivalent(cover)
+        assert len(result) == 2
+
+    def test_with_dont_cares(self):
+        from repro.boolean.minimize import espresso_lite
+
+        onset = Cover.from_strings(["ab'c'd'"], NAMES)
+        dcset = Cover.from_strings(["a'"], NAMES)
+        result = espresso_lite(onset, dcset)
+        assert result.equivalent(onset) or all(
+            result.evaluate(p) or not onset.evaluate(p) for p in range(16)
+        )
+        # every care ON point still covered, no care OFF point added
+        for p in range(16):
+            if onset.evaluate(p):
+                assert result.evaluate(p)
+            if not onset.evaluate(p) and not dcset.evaluate(p):
+                assert not result.evaluate(p)
+
+    @given(cover_strategy(4, max_cubes=5))
+    @settings(max_examples=30, deadline=None)
+    def test_function_preserved(self, cover):
+        from repro.boolean.minimize import espresso_lite
+
+        assert espresso_lite(cover).equivalent(cover)
+
+    @given(cover_strategy(4, max_cubes=5))
+    @settings(max_examples=20, deadline=None)
+    def test_never_bigger_than_dedup(self, cover):
+        from repro.boolean.minimize import espresso_lite
+
+        assert len(espresso_lite(cover)) <= len(cover.dedup())

@@ -1,0 +1,90 @@
+"""Tests for path-labelled flattening."""
+
+from repro.boolean.cover import Cover
+from repro.boolean.expr import parse
+from repro.boolean.paths import label_cover, label_expression
+
+
+class TestLabelExpression:
+    def test_every_occurrence_gets_unique_path(self):
+        lsop = label_expression(parse("a*b + a*c"))
+        a_paths = {
+            (lit.name, lit.path)
+            for product in lsop.products
+            for lit in product.literals
+            if lit.name == "a"
+        }
+        assert len(a_paths) == 2
+
+    def test_shared_leaf_keeps_label_across_products(self):
+        # a*(b + c) distributes to ab + ac with the SAME a path in both
+        # (one physical wire) — the correlation hazard analysis needs.
+        lsop = label_expression(parse("a*(b + c)"))
+        a_labels = set()
+        for product in lsop.products:
+            for lit in product.literals:
+                if lit.name == "a":
+                    a_labels.add(lit.path)
+        assert len(a_labels) == 1
+
+    def test_vacuous_product_kept(self):
+        lsop = label_expression(parse("(a + b)*(a' + c)"))
+        vacuous = lsop.vacuous_products()
+        assert len(vacuous) == 1
+        assert vacuous[0].vacuous_variables() == {"a"}
+
+    def test_plain_cover_drops_vacuous(self):
+        lsop = label_expression(parse("(a + b)*(a' + c)"))
+        plain = lsop.plain_cover()
+        names = lsop.names
+        patterns = {c.to_string(names) for c in plain}
+        assert patterns == {"ac", "a'b", "bc"}
+
+    def test_plain_cover_function_matches_expression(self):
+        expr = parse("(a + b')*(c + a')*(b + c')")
+        lsop = label_expression(expr)
+        plain = lsop.plain_cover()
+        names = lsop.names
+        for point in range(1 << len(names)):
+            env = {n: bool(point >> i & 1) for i, n in enumerate(names)}
+            assert plain.evaluate(point) == expr.evaluate(env)
+
+    def test_plain_cover_cached(self):
+        lsop = label_expression(parse("a*b + c"))
+        assert lsop.plain_cover() is lsop.plain_cover()
+
+
+class TestLabelCover:
+    def test_two_level_labels_one_per_literal(self):
+        cover = Cover.from_strings(["ab", "a'c"], ["a", "b", "c"])
+        lsop = label_cover(cover, ["a", "b", "c"])
+        assert len(lsop.products) == 2
+        labels = [
+            (lit.name, lit.path) for p in lsop.products for lit in p.literals
+        ]
+        assert len(labels) == len(set(labels))
+
+    def test_no_vacuous_products_in_plain_sop(self):
+        cover = Cover.from_strings(["ab", "a'c"], ["a", "b", "c"])
+        lsop = label_cover(cover, ["a", "b", "c"])
+        assert not lsop.vacuous_products()
+
+
+class TestLabeledProduct:
+    def test_residual_cube_unifies_labels(self):
+        lsop = label_expression(parse("(a + b)*(a' + c)"))
+        vacuous = lsop.vacuous_products()[0]
+        residual = vacuous.residual_cube(("a",), lsop.index, lsop.nvars)
+        assert residual is not None
+        assert residual.to_string(lsop.names) == "1"  # the aa' product
+
+    def test_phase_of(self):
+        lsop = label_expression(parse("a*b'"))
+        product = lsop.products[0]
+        assert product.phase_of("a") is True
+        assert product.phase_of("b") is False
+        assert product.phase_of("z") is None
+
+    def test_str_shows_paths(self):
+        lsop = label_expression(parse("a*a"))
+        assert "#0" in str(lsop) and "#1" in str(lsop)

@@ -1,0 +1,197 @@
+"""Tests for hazard-free two-level minimization (Nowick–Dill)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.boolean.cover import Cover
+from repro.boolean.cube import Cube
+from repro.boolean.paths import label_cover
+from repro.burstmode.hfmin import (
+    HazardFreeError,
+    PrivilegedCube,
+    TransitionSpec,
+    classify_requirements,
+    dhf_prime_implicants,
+    expand_to_dhf_prime,
+    is_dhf_implicant,
+    minimize_hazard_free,
+    verify_hazard_free_cover,
+)
+from repro.hazards.oracle import classify_transition
+
+NAMES = ["a", "b", "c", "d"]
+
+
+def make_function(on_patterns, off_patterns, nvars=4):
+    onset = Cover.from_patterns(on_patterns, nvars) if on_patterns else Cover.empty(nvars)
+    offset = Cover.from_patterns(off_patterns, nvars) if off_patterns else Cover.empty(nvars)
+    return onset, offset
+
+
+class TestClassifyRequirements:
+    def test_static_11_required_cube(self):
+        onset, offset = make_function(["11--"], ["00--"])
+        required, privileged = classify_requirements(
+            onset, offset, [TransitionSpec(0b0011, 0b1111)]
+        )
+        assert not privileged
+        assert len(required) == 1
+        assert required[0].to_pattern() == "11--"
+
+    def test_static_11_function_hazard_rejected(self):
+        onset, offset = make_function(["0011", "1111"], ["0111"])
+        with pytest.raises(HazardFreeError):
+            classify_requirements(onset, offset, [TransitionSpec(0b1100, 0b1111)])
+
+    def test_dynamic_10_privileged_and_required(self):
+        # f falls from 1100 (a=b=0... pattern "0011" means a=0,b=0,c=1,d=1).
+        onset, offset = make_function(["--11"], ["--00", "--01", "--10"])
+        # transition: start 0b1100 (c,d) -> end 0b0000, f: 1 -> 0
+        required, privileged = classify_requirements(
+            onset, offset, [TransitionSpec(0b1100, 0b0000)]
+        )
+        assert len(privileged) == 1
+        assert privileged[0].start == 0b1100
+        # required: maximal ON subcubes containing the start
+        for cube in required:
+            assert cube.contains_point(0b1100)
+
+    def test_static_00_needs_nothing(self):
+        onset, offset = make_function(["11--"], ["00--"])
+        required, privileged = classify_requirements(
+            onset, offset, [TransitionSpec(0b0000, 0b1100)]
+        )
+        assert not required and not privileged
+
+    def test_unspecified_endpoint_rejected(self):
+        onset, offset = make_function(["1111"], ["0000"])
+        with pytest.raises(HazardFreeError):
+            classify_requirements(onset, offset, [TransitionSpec(0, 1)])
+
+
+class TestPrivilegedCube:
+    def test_illegal_intersection(self):
+        priv = PrivilegedCube(Cube.from_pattern("11--").with_universe(4), 0b0011)
+        assert priv.illegally_intersected_by(Cube.from_pattern("1--1").with_universe(4))
+        # containing the start point is legal:
+        assert not priv.illegally_intersected_by(
+            Cube.from_pattern("11-0").with_universe(4)
+        )
+        # disjoint is legal:
+        assert not priv.illegally_intersected_by(
+            Cube.from_pattern("0---").with_universe(4)
+        )
+
+
+class TestDhfPrimes:
+    def test_no_privileged_gives_ordinary_primes(self):
+        onset, offset = make_function(["11--", "1-1-"], ["0-0-", "0--0", "--00"])
+        dhf = dhf_prime_implicants(onset, offset, [])
+        function = offset.complement()
+        expected = set(function.all_primes())
+        assert set(dhf) == expected
+
+    def test_splitting_removes_illegal_intersections(self):
+        onset, offset = make_function(["1---"], ["0---"])
+        priv = PrivilegedCube(Cube.from_pattern("-1--").with_universe(4), 0b0010)
+        dhf = dhf_prime_implicants(onset, offset, [priv])
+        for cube in dhf:
+            assert not priv.illegally_intersected_by(cube)
+
+    def test_expand_to_dhf_prime_maximal(self):
+        onset, offset = make_function(["11--"], ["00--"])
+        cube = Cube.from_pattern("11-1").with_universe(4)
+        expanded = expand_to_dhf_prime(cube, offset, [])
+        assert expanded.contains(cube)
+        assert is_dhf_implicant(expanded, offset, [])
+
+    def test_expand_rejects_non_implicant(self):
+        onset, offset = make_function(["11--"], ["00--"])
+        with pytest.raises(HazardFreeError):
+            expand_to_dhf_prime(Cube.from_pattern("0---").with_universe(4), offset, [])
+
+
+class TestMinimize:
+    def _verify_cover_hazard_free(self, result, onset, offset, transitions):
+        # every specified transition replayed on the event lattice
+        names = [f"x{i}" for i in range(onset.nvars)]
+        lsop = label_cover(result.cover, names)
+        for spec in transitions:
+            verdict = classify_transition(lsop, spec.start, spec.end)
+            assert not verdict.logic_hazard, (
+                f"{result.cover.to_string(names)} {spec.start:b}->{spec.end:b}"
+            )
+
+    def test_static_mux_requirement(self):
+        # The classic: two 1-1 bursts forcing the consensus cube.
+        names = ["s", "a", "b"]
+        onset = Cover.from_strings(["sa", "s'b"], names)
+        offset = onset.complement()
+        transitions = [
+            TransitionSpec(0b0111, 0b0110),  # a=b=1, s falls: 1-1
+        ]
+        result = minimize_hazard_free(onset, offset, transitions)
+        assert not verify_hazard_free_cover(
+            result.cover, result.required_cubes, result.privileged_cubes
+        )
+        # ab must be singly held
+        assert result.cover.single_cube_contains(
+            Cube.from_string("ab", names)
+        )
+        self._verify_cover_hazard_free(result, onset, offset, transitions)
+
+    def test_dynamic_transition_no_illegal_intersection(self):
+        # f = ab + cd; off-set = its true complement.
+        onset, offset = make_function(
+            ["--11", "11--"], ["0-0-", "0--0", "-00-", "-0-0"]
+        )
+        transitions = [TransitionSpec(0b1100, 0b0000)]  # 1 -> 0
+        result = minimize_hazard_free(onset, offset, transitions)
+        for priv in result.privileged_cubes:
+            for cube in result.cover:
+                assert not priv.illegally_intersected_by(cube)
+        self._verify_cover_hazard_free(result, onset, offset, transitions)
+
+    def test_function_correctness(self):
+        onset, offset = make_function(["11--", "--11"], ["00-0", "0-00"])
+        transitions = [TransitionSpec(0b0011, 0b1111)]
+        result = minimize_hazard_free(onset, offset, transitions)
+        for point in onset.minterms():
+            assert result.cover.evaluate(point)
+        for point in offset.minterms():
+            assert not result.cover.evaluate(point)
+
+    def test_heuristic_engine_hazard_free(self):
+        onset = Cover.from_strings(["sa", "s'b"], ["s", "a", "b"])
+        offset = onset.complement()
+        transitions = [TransitionSpec(0b0111, 0b0110)]
+        result = minimize_hazard_free(onset, offset, transitions, exact=False)
+        assert not result.exact
+        assert not verify_hazard_free_cover(
+            result.cover, result.required_cubes, result.privileged_cubes
+        )
+        self._verify_cover_hazard_free(result, onset, offset, transitions)
+
+    def test_exact_not_larger_than_heuristic(self):
+        onset = Cover.from_strings(["sa", "s'b"], ["s", "a", "b"])
+        offset = onset.complement()
+        transitions = [TransitionSpec(0b0111, 0b0110)]
+        exact = minimize_hazard_free(onset, offset, transitions, exact=True)
+        heuristic = minimize_hazard_free(onset, offset, transitions, exact=False)
+        assert len(exact.cover) <= len(heuristic.cover)
+
+    def test_unrealizable_specification(self):
+        # Require a 1-1 burst whose transition cube is cut by a
+        # privileged cube that forbids every containing implicant:
+        # classic unrealizable pattern — a required cube strictly inside
+        # a privileged cube not containing its start.
+        names = ["a", "b", "c"]
+        onset = Cover.from_strings(["ab", "bc", "a'c"], names)
+        offset = onset.complement()
+        transitions = [
+            TransitionSpec(0b011, 0b110),  # static 1-1 over b, needs cube b..
+            TransitionSpec(0b111, 0b000),  # dynamic making cube b illegal
+        ]
+        with pytest.raises(HazardFreeError):
+            minimize_hazard_free(onset, offset, transitions)

@@ -1,0 +1,98 @@
+"""Tests for the burst-mode machine simulators and conformance checks."""
+
+import pytest
+
+from repro.burstmode.benchmarks import synthesize_benchmark
+from repro.burstmode.machine import (
+    ImplementationSimulator,
+    SpecSimulator,
+    conformance_check,
+)
+from repro.burstmode.spec import BurstModeSpec
+from repro.burstmode.synth import synthesize
+from repro.library import minimal_teaching_library
+from repro.mapping.mapper import async_tmap
+
+
+def simple_spec():
+    spec = BurstModeSpec(
+        name="t", inputs=["req", "din"], outputs=["ack", "load"],
+        initial_state="s0",
+    )
+    spec.add_transition("s0", ["req"], ["ack"], "s1")
+    spec.add_transition("s1", ["req", "din"], ["ack", "load"], "s2")
+    spec.add_transition("s2", ["din"], ["load"], "s0")
+    return spec
+
+
+class TestSpecSimulator:
+    def test_reset(self):
+        sim = SpecSimulator(simple_spec())
+        status = sim.reset()
+        assert status.state == "s0"
+        assert not any(status.inputs.values())
+
+    def test_fire_updates_values(self):
+        sim = SpecSimulator(simple_spec())
+        status = sim.reset()
+        burst = sim.enabled_bursts(status)[0]
+        after = sim.fire(status, burst)
+        assert after.state == "s1"
+        assert after.inputs["req"]
+        assert after.outputs["ack"]
+
+    def test_fire_wrong_burst_rejected(self):
+        sim = SpecSimulator(simple_spec())
+        status = sim.reset()
+        later = sim.fire(status, sim.enabled_bursts(status)[0])
+        with pytest.raises(ValueError):
+            sim.fire(status, sim.enabled_bursts(later)[0])
+
+    def test_random_walk_cycles(self):
+        sim = SpecSimulator(simple_spec())
+        trace = sim.random_walk(30, seed=3)
+        assert len(trace) == 30
+        # the machine is a 3-cycle: state sequence repeats
+        states = [status.state for status, __ in trace]
+        assert states[:3] == ["s0", "s1", "s2"]
+        assert states[3] == "s0"
+
+
+class TestConformance:
+    def test_synthesized_network_conforms(self):
+        synthesis = synthesize(simple_spec())
+        assert conformance_check(synthesis, steps=60) == []
+
+    def test_benchmarks_conform(self):
+        for name in ("chu-ad-opt", "dme", "dme-fast", "pe-send-ifc"):
+            synthesis = synthesize_benchmark(name)
+            problems = conformance_check(synthesis, steps=120, seed=1)
+            assert problems == [], (name, problems[:2])
+
+    def test_mapped_network_conforms(self):
+        library = minimal_teaching_library()
+        if not library.annotated:
+            library.annotate_hazards()
+        synthesis = synthesize(simple_spec())
+        result = async_tmap(synthesis.netlist(), library)
+        assert conformance_check(synthesis, result.mapped, steps=60) == []
+
+    def test_broken_network_detected(self):
+        synthesis = synthesize(simple_spec())
+        net = synthesis.netlist()
+        # sabotage: swap an output's driver with another's
+        a, b = net.outputs[0], net.outputs[1]
+        net.nodes[a].fanins, net.nodes[b].fanins = (
+            net.nodes[b].fanins,
+            net.nodes[a].fanins,
+        )
+        problems = conformance_check(synthesis, net, steps=40)
+        assert problems
+
+    def test_interface_mismatch_rejected(self):
+        from repro.network.netlist import Netlist
+
+        synthesis = synthesize(simple_spec())
+        wrong = Netlist.from_equations({"ack": "a"})
+        with pytest.raises(ValueError):
+            ImplementationSimulator(synthesis, wrong)

@@ -1,0 +1,90 @@
+"""Tests for the Figure-1 sequential machine model."""
+
+import pytest
+
+from repro.burstmode.benchmarks import synthesize_benchmark
+from repro.burstmode.sequential import SequentialMachine
+from repro.burstmode.spec import BurstModeSpec
+from repro.burstmode.synth import synthesize
+from repro.library import minimal_teaching_library
+from repro.mapping.mapper import async_tmap
+
+
+def simple_spec():
+    spec = BurstModeSpec(
+        name="t", inputs=["req", "din"], outputs=["ack", "load"],
+        initial_state="s0",
+    )
+    spec.add_transition("s0", ["req"], ["ack"], "s1")
+    spec.add_transition("s1", ["req", "din"], ["ack", "load"], "s2")
+    spec.add_transition("s2", ["din"], ["load"], "s0")
+    return spec
+
+
+class TestStepping:
+    def test_reset_matches_spec_initial(self):
+        machine = SequentialMachine(synthesize(simple_spec()))
+        assert machine.state == "s0"
+        assert not any(machine.outputs.values())
+
+    def test_step_advances_state_and_outputs(self):
+        machine = SequentialMachine(synthesize(simple_spec()))
+        burst = machine.enabled_bursts()[0]
+        result = machine.step(burst)
+        assert result.state == "s1"
+        assert result.outputs["ack"]
+
+    def test_wrong_burst_rejected(self):
+        machine = SequentialMachine(synthesize(simple_spec()))
+        machine.step(machine.enabled_bursts()[0])
+        machine.reset()
+        later_burst = synthesize(simple_spec()).spec.transitions["s1"][0]
+        with pytest.raises(ValueError):
+            machine.step(later_burst)
+
+    def test_history_recorded(self):
+        machine = SequentialMachine(synthesize(simple_spec()))
+        machine.run_random(7, seed=1)
+        assert len(machine.history) == 7
+
+
+class TestConformance:
+    def test_synthesized_machine_conforms_and_never_glitches(self):
+        machine = SequentialMachine(
+            synthesize(simple_spec()), monitor_glitches=True, glitch_trials=4
+        )
+        assert machine.conforms(steps=40, seed=2) == []
+
+    def test_mapped_machine_conforms_and_never_glitches(self):
+        library = minimal_teaching_library()
+        if not library.annotated:
+            library.annotate_hazards()
+        synthesis = synthesize(simple_spec())
+        mapped = async_tmap(synthesis.netlist(), library).mapped
+        machine = SequentialMachine(
+            synthesis, mapped, monitor_glitches=True, glitch_trials=4
+        )
+        assert machine.conforms(steps=40, seed=2) == []
+
+    @pytest.mark.parametrize("name", ["chu-ad-opt", "dme", "vanbek-opt"])
+    def test_benchmark_machines_run_clean(self, name):
+        library = minimal_teaching_library()
+        if not library.annotated:
+            library.annotate_hazards()
+        synthesis = synthesize_benchmark(name)
+        mapped = async_tmap(synthesis.netlist(name), library).mapped
+        machine = SequentialMachine(
+            synthesis, mapped, monitor_glitches=True, glitch_trials=3
+        )
+        assert machine.conforms(steps=40, seed=5) == [], name
+
+    def test_corrupted_network_detected(self):
+        synthesis = synthesize(simple_spec())
+        net = synthesis.netlist()
+        a, b = net.outputs[0], net.outputs[1]
+        net.nodes[a].fanins, net.nodes[b].fanins = (
+            net.nodes[b].fanins,
+            net.nodes[a].fanins,
+        )
+        machine = SequentialMachine(synthesis, net)
+        assert machine.conforms(steps=20, seed=1)

@@ -1,0 +1,152 @@
+"""Tests for burst-mode specifications and the synthesis flow."""
+
+import pytest
+
+from repro.boolean.paths import label_cover
+from repro.burstmode.benchmarks import (
+    CATALOG,
+    TABLE5_ORDER,
+    build_loop_machine,
+    synthesize_benchmark,
+)
+from repro.burstmode.spec import Burst, BurstModeSpec, SpecError
+from repro.burstmode.synth import synthesize
+from repro.hazards.oracle import classify_transition
+
+
+def simple_spec():
+    spec = BurstModeSpec(
+        name="t", inputs=["req", "din"], outputs=["ack", "load"],
+        initial_state="s0",
+    )
+    spec.add_transition("s0", ["req"], ["ack"], "s1")
+    spec.add_transition("s1", ["req", "din"], ["ack", "load"], "s2")
+    spec.add_transition("s2", ["din"], ["load"], "s0")
+    return spec
+
+
+class TestSpec:
+    def test_valid_spec(self):
+        spec = simple_spec()
+        spec.validate()
+        assert spec.stats()["states"] == 3
+
+    def test_empty_burst_rejected(self):
+        with pytest.raises(SpecError):
+            Burst.make([], ["z"], "s1")
+
+    def test_unknown_signal_rejected(self):
+        spec = simple_spec()
+        with pytest.raises(SpecError):
+            spec.add_transition("s0", ["nope"], [], "s1")
+
+    def test_maximal_set_property_enforced(self):
+        spec = BurstModeSpec(
+            name="bad", inputs=["a", "b"], outputs=["z"], initial_state="s0"
+        )
+        spec.add_transition("s0", ["a"], ["z"], "s1")
+        spec.add_transition("s0", ["a", "b"], [], "s2")
+        with pytest.raises(SpecError):
+            spec.validate()
+
+    def test_inconsistent_entry_rejected(self):
+        spec = BurstModeSpec(
+            name="bad", inputs=["a", "b"], outputs=["z"], initial_state="s0"
+        )
+        spec.add_transition("s0", ["a"], ["z"], "s1")
+        spec.add_transition("s0", ["b"], [], "s1")  # different entry values
+        with pytest.raises(SpecError):
+            spec.validate()
+
+    def test_entry_points_traced(self):
+        spec = simple_spec()
+        entry = spec.trace_entry_points()
+        assert entry["s1"][0] == {"req": True, "din": False}
+        assert entry["s1"][1] == {"ack": True, "load": False}
+
+
+class TestLoopBuilder:
+    def test_odd_toggle_rejected(self):
+        with pytest.raises(ValueError):
+            build_loop_machine(
+                "bad", ["a"], ["z"], [[(["a"], ["z"]), (["a"], [])]]
+            )
+
+    def test_builds_valid_machine(self):
+        spec = build_loop_machine(
+            "ok", ["a", "b"], ["z"],
+            [[(["a"], ["z"]), (["a"], ["z"])], [(["b"], []), (["b"], [])]],
+        )
+        spec.validate()
+        assert spec.stats()["transitions"] == 4
+
+
+class TestSynthesis:
+    def test_equations_realize_the_machine(self):
+        result = synthesize(simple_spec())
+        # Walk the machine symbolically: at each reachable state's entry
+        # and exit points the outputs/next-state functions must agree
+        # with the spec.
+        entry = result.spec.trace_entry_points()
+        for state, (in_values, out_values) in entry.items():
+            code = result.state_codes[state]
+            env = dict(in_values)
+            for i, bit in enumerate(result.state_bits):
+                env[bit] = bool(code >> i & 1)
+            point = 0
+            for i, var in enumerate(result.variables):
+                if env[var]:
+                    point |= 1 << i
+            for z, expected in out_values.items():
+                assert result.equations[z].evaluate(point) == expected, (state, z)
+            for i, bit in enumerate(result.state_bits):
+                assert result.equations[f"{bit}_next"].evaluate(point) == bool(
+                    code >> i & 1
+                ), (state, bit)
+
+    def test_all_specified_transitions_hazard_free(self):
+        result = synthesize(simple_spec())
+        for target, cover in result.equations.items():
+            lsop = label_cover(cover, result.variables)
+            for spec_t in result.transitions[target]:
+                verdict = classify_transition(lsop, spec_t.start, spec_t.end)
+                assert not verdict.function_hazard, (target, spec_t)
+                assert not verdict.logic_hazard, (target, spec_t)
+
+    def test_netlist_interface(self):
+        result = synthesize(simple_spec())
+        net = result.netlist("t")
+        assert set(net.inputs) == set(result.variables)
+        assert set(net.outputs) == set(result.equations)
+
+
+class TestBenchmarkCatalog:
+    def test_catalog_contains_table5_rows(self):
+        assert set(TABLE5_ORDER) == set(CATALOG)
+
+    @pytest.mark.parametrize("name", TABLE5_ORDER)
+    def test_benchmark_synthesizes(self, name):
+        result = synthesize_benchmark(name)
+        assert result.total_cubes() > 0
+        assert result.total_literals() > 0
+
+    def test_relative_sizes_track_table5(self):
+        sizes = {
+            name: synthesize_benchmark(name).total_literals()
+            for name in TABLE5_ORDER
+        }
+        assert sizes["dean-ctrl"] == max(sizes.values())
+        assert sizes["dean-ctrl"] > sizes["scsi"] > sizes["oscsi-ctrl"]
+        assert sizes["oscsi-ctrl"] > sizes["pe-send-ifc"]
+        small = {"chu-ad-opt", "vanbek-opt", "dme", "dme-opt"}
+        for name in small:
+            assert sizes[name] < sizes["pe-send-ifc"]
+
+    def test_specified_transitions_hazard_free_small_benchmarks(self):
+        for name in ("chu-ad-opt", "vanbek-opt", "dme", "dme-opt"):
+            result = synthesize_benchmark(name)
+            for target, cover in result.equations.items():
+                lsop = label_cover(cover, result.variables)
+                for spec_t in result.transitions[target]:
+                    verdict = classify_transition(lsop, spec_t.start, spec_t.end)
+                    assert not verdict.logic_hazard, (name, target)

@@ -1,0 +1,40 @@
+"""Shared fixtures and hypothesis strategies for the test-suite."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import strategies as st
+
+from repro.boolean.cover import Cover
+from repro.boolean.cube import Cube
+
+
+def cube_strategy(nvars: int) -> st.SearchStrategy[Cube]:
+    """Random non-empty cubes over ``nvars`` variables."""
+    return st.builds(
+        lambda used, phase: Cube(used, phase, nvars),
+        st.integers(min_value=1, max_value=(1 << nvars) - 1),
+        st.integers(min_value=0, max_value=(1 << nvars) - 1),
+    )
+
+
+def cover_strategy(nvars: int, max_cubes: int = 5) -> st.SearchStrategy[Cover]:
+    """Random covers (possibly with duplicate/contained cubes)."""
+    return st.lists(cube_strategy(nvars), min_size=1, max_size=max_cubes).map(
+        lambda cubes: Cover(cubes, nvars)
+    )
+
+
+@pytest.fixture
+def names4() -> list[str]:
+    return ["a", "b", "c", "d"]
+
+
+@pytest.fixture
+def mini_library():
+    from repro.library import minimal_teaching_library
+
+    library = minimal_teaching_library()
+    if not library.annotated:
+        library.annotate_hazards()
+    return library

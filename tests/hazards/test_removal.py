@@ -1,0 +1,108 @@
+"""Tests for the hazard-removal transformations."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.boolean.cover import Cover
+from repro.boolean.expr import parse
+from repro.boolean.paths import label_cover
+from repro.burstmode.hfmin import HazardFreeError
+from repro.hazards.oracle import classify_transition
+from repro.hazards.removal import (
+    make_hazard_free_for,
+    remove_static1,
+    remove_vacuous,
+    repair_summary,
+)
+from repro.hazards.sic import find_sic_dynamic_hazards
+from repro.hazards.static0 import find_static0_hazards
+from repro.hazards.static1 import has_static1_hazard
+
+from ..conftest import cover_strategy
+
+MUXN = ["s", "a", "b"]
+
+
+class TestRemoveStatic1:
+    def test_mux_repair(self):
+        cover = Cover.from_strings(["sa", "s'b"], MUXN)
+        repaired, report = remove_static1(cover)
+        assert report.clean
+        assert not has_static1_hazard(repaired)
+        assert repaired.equivalent(cover)
+        # original gates untouched
+        for cube in cover:
+            assert cube in repaired.cubes
+
+    @given(cover_strategy(4, max_cubes=4))
+    @settings(max_examples=25, deadline=None)
+    def test_always_converges_and_cleans(self, cover):
+        repaired, report = remove_static1(cover)
+        assert report.clean
+        assert repaired.equivalent(cover)
+
+    def test_report_accounting(self):
+        cover = Cover.from_strings(["sa", "s'b"], MUXN)
+        repaired, report = remove_static1(cover)
+        assert report.before_static1 == 1
+        assert report.after_static1 == 0
+        assert len(report.added_cubes) == len(repaired) - len(cover)
+
+
+class TestRemoveVacuous:
+    def test_clears_static0_and_sic(self):
+        expr = parse("(w + x' + y')*(x*y + y'*z)")
+        names = sorted(expr.support())
+        flattened = remove_vacuous(expr, names)
+        lsop = label_cover(flattened, names)
+        assert not find_static0_hazards(lsop)
+        assert not find_sic_dynamic_hazards(lsop)
+
+    def test_function_preserved(self):
+        expr = parse("(a + b)*(a' + c)")
+        names = sorted(expr.support())
+        flattened = remove_vacuous(expr, names)
+        for point in range(1 << len(names)):
+            env = {n: bool(point >> i & 1) for i, n in enumerate(names)}
+            assert flattened.evaluate(point) == expr.evaluate(env)
+
+
+class TestMakeHazardFreeFor:
+    def test_burst_specific_repair(self):
+        cover = Cover.from_strings(["sa", "s'b"], MUXN)
+        # the classic burst: s changes with a=b=1 (both directions)
+        transitions = [(0b111, 0b110), (0b110, 0b111)]
+        repaired = make_hazard_free_for(cover, transitions)
+        assert repaired.equivalent(cover)
+        names = MUXN
+        lsop = label_cover(repaired, names)
+        for start, end in transitions:
+            verdict = classify_transition(lsop, start, end)
+            assert not verdict.logic_hazard
+
+    def test_dynamic_burst_repair(self):
+        # f = ab + cd, falling burst from 1111 to 0101-ish
+        names = ["a", "b", "c", "d"]
+        cover = Cover.from_strings(["ab", "cd"], names)
+        transitions = [(0b1111, 0b0101)]
+        repaired = make_hazard_free_for(cover, transitions)
+        lsop = label_cover(repaired, names)
+        verdict = classify_transition(lsop, 0b1111, 0b0101)
+        assert not verdict.logic_hazard
+
+    def test_unrealizable_raises(self):
+        names = ["a", "b", "c"]
+        cover = Cover.from_strings(["ab", "bc", "a'c"], names)
+        transitions = [
+            (0b011, 0b110),  # static 1-1 over b: needs a cube holding b
+            (0b111, 0b000),  # dynamic: makes that cube illegal
+        ]
+        with pytest.raises(HazardFreeError):
+            make_hazard_free_for(cover, transitions)
+
+    def test_summary_keys(self):
+        cover = Cover.from_strings(["sa", "s'b"], MUXN)
+        repaired, __ = remove_static1(cover)
+        summary = repair_summary(cover, repaired)
+        assert summary["static1_before"] == 1
+        assert summary["static1_after"] == 0

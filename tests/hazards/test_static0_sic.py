@@ -1,0 +1,145 @@
+"""Tests for static-0 and s.i.c. dynamic hazard analysis (§4.1.2, §4.2.3)."""
+
+from repro.boolean.cover import Cover
+from repro.boolean.expr import parse
+from repro.boolean.paths import label_cover, label_expression
+from repro.hazards.oracle import (
+    TransitionKind,
+    classify_transition,
+    sic_transitions,
+)
+from repro.hazards.sic import exhibits_sic_dynamic, find_sic_dynamic_hazards
+from repro.hazards.static0 import exhibits_static0, find_static0_hazards
+
+
+class TestStatic0:
+    def test_figure6a_static0(self):
+        # McCluskey's example (Figure 6): f = (w + x' + y')(xy + y'z).
+        # Reconvergent x gives a static-0 hazard at w=0, y=1, z=0 while
+        # x changes: the x1'·x2·y2 product can pulse.
+        expr = parse("(w + x' + y')*(x*y + y'*z)")
+        lsop = label_expression(expr)  # names sorted: w,x,y,z
+        hazards = find_static0_hazards(lsop)
+        assert hazards
+        x_index = lsop.index["x"]
+        assert any(h.var == x_index for h in hazards)
+        # the sensitizing point w=0,y=1,z=0 is in some condition
+        point = 1 << lsop.index["y"]
+        assert any(
+            h.var == x_index and h.condition.evaluate(point) for h in hazards
+        )
+
+    def test_plain_sop_has_no_static0(self):
+        cover = Cover.from_strings(["ab", "a'c"], ["a", "b", "c"])
+        lsop = label_cover(cover, ["a", "b", "c"])
+        assert not find_static0_hazards(lsop)
+
+    def test_unsensitizable_vacuous_term_not_reported(self):
+        # y·(y' + 1-ish): vacuous term exists but the function is never
+        # 0 on both sides with the residual true.
+        expr = parse("y*y' + y + y'")  # constant 1: no 0-0 transition
+        lsop = label_expression(expr)
+        assert not find_static0_hazards(lsop)
+
+    def test_oracle_agreement_on_sic_static0(self):
+        """Every s.i.c. static-0 glitch the lattice oracle finds is
+        reported, and vice versa."""
+        for text in [
+            "(w + x' + y')*(x*y + y'*z)",
+            "(a + b)*(a' + c)",
+            "(a + b')*(a' + b)*(c + a)",
+            "a*b + c",
+        ]:
+            expr = parse(text)
+            lsop = label_expression(expr)
+            plain = lsop.plain_cover()
+            records = find_static0_hazards(lsop)
+            for start, end in sic_transitions(lsop.nvars):
+                verdict = classify_transition(lsop, start, end)
+                if verdict.kind != TransitionKind.STATIC_0:
+                    continue
+                if verdict.function_hazard:
+                    continue
+                var = (start ^ end).bit_length() - 1
+                reported = any(
+                    h.var == var
+                    and (h.condition.evaluate(start) or h.condition.evaluate(end))
+                    for h in records
+                )
+                assert reported == verdict.logic_hazard, (
+                    f"{text}: {start:b}->{end:b}"
+                )
+
+
+class TestSicDynamic:
+    def test_figure6b_sic_dynamic(self):
+        # Figure 6b: with w=0, x=z=1 the labelled expression reduces to
+        # y1'·y2 + y1'·y3'; the vacuous-path product pulses while the
+        # output makes its single change on y.
+        expr = parse("(w + x' + y')*(x*y + y'*z)")
+        lsop = label_expression(expr)
+        hazards = find_sic_dynamic_hazards(lsop)
+        y_index = lsop.index["y"]
+        assert any(h.var == y_index for h in hazards)
+        # the paper's sensitizing point: w=0, x=1, z=1
+        point = (1 << lsop.index["x"]) | (1 << lsop.index["z"])
+        hazard = next(h for h in hazards if h.var == y_index)
+        assert hazard.condition.evaluate(point) or hazard.condition.evaluate(
+            point | (1 << y_index)
+        )
+
+    def test_factored_mux_pulse_is_masked(self):
+        # (s + b)(s' + a): s reconverges and the vacuous s·s' product
+        # exists, but whenever it pulses a product sharing the raising
+        # s-path is also on — the pulse is invisible.  The naive
+        # algebraic condition would report a hazard here; the exact
+        # lattice-confirmed detector must not.
+        expr = parse("(s + b)*(s' + a)")
+        lsop = label_expression(expr)
+        hazards = find_sic_dynamic_hazards(lsop)
+        assert not any(h.var == lsop.index["s"] for h in hazards)
+
+    def test_oracle_agreement_on_sic_dynamic(self):
+        for text in [
+            "(w + x' + y')*(x*y + y'*z)",
+            "(w + y')*(x + y)*z",
+            "(s + b)*(s' + a)",
+            "(a + b)*(a' + c) + a*d",
+            "a'*b + a*c",
+        ]:
+            expr = parse(text)
+            lsop = label_expression(expr)
+            records = find_sic_dynamic_hazards(lsop)
+            for start, end in sic_transitions(lsop.nvars):
+                verdict = classify_transition(lsop, start, end)
+                if verdict.kind != TransitionKind.DYNAMIC:
+                    continue
+                var = (start ^ end).bit_length() - 1
+                reported = any(
+                    h.var == var
+                    and (h.condition.evaluate(start) or h.condition.evaluate(end))
+                    for h in records
+                )
+                assert reported == verdict.logic_hazard, (
+                    f"{text}: {start:b}->{end:b}"
+                )
+
+    def test_exhibits_predicates(self):
+        expr = parse("(w + x' + y')*(x*y + y'*z)")
+        lsop = label_expression(expr)
+        hazards = find_sic_dynamic_hazards(lsop)
+        hazard = next(h for h in hazards if h.var == lsop.index["y"])
+        assert exhibits_sic_dynamic(lsop, hazard.var, hazard.condition)
+        # A plain SOP of the same function has no vacuous products,
+        # hence cannot exhibit the cell's s.i.c. dynamic hazard.
+        names = lsop.names
+        sop = label_cover(lsop.plain_cover(), names)
+        assert not exhibits_sic_dynamic(sop, hazard.var, hazard.condition)
+
+
+class TestStatic0Exhibits:
+    def test_exhibits_static0_condition_containment(self):
+        expr = parse("(w + x)*(x' + y + z)")
+        lsop = label_expression(expr)
+        hazard = find_static0_hazards(lsop)[0]
+        assert exhibits_static0(lsop, hazard.var, hazard.condition)

@@ -1,0 +1,115 @@
+"""Tests for static-1 hazard analysis (paper section 4.1.1)."""
+
+from hypothesis import given, settings
+
+from repro.boolean.cover import Cover
+from repro.boolean.cube import Cube
+from repro.hazards.static1 import (
+    exhibits_static1,
+    find_sic_static1_hazards,
+    find_static1_hazards,
+    find_static1_hazards_complete,
+    has_static1_hazard,
+    static1_subset,
+)
+
+from ..conftest import cover_strategy
+
+NAMES = ["a", "b", "c", "d"]
+MUXN = ["s", "a", "b"]
+
+
+class TestClassicCases:
+    def test_mux_missing_consensus(self):
+        cover = Cover.from_strings(["sa", "s'b"], MUXN)
+        hazards = find_static1_hazards(cover)
+        assert len(hazards) == 1
+        assert hazards[0].transition.to_string(MUXN) == "ab"
+
+    def test_mux_with_consensus_is_clean(self):
+        cover = Cover.from_strings(["sa", "s'b", "ab"], MUXN)
+        assert not find_static1_hazards(cover)
+        assert not has_static1_hazard(cover)
+
+    def test_figure2a_uncovered_transition(self):
+        # Figure 2a: f = wx + yz-ish example where a 1-1 transition is
+        # not covered by a single gate.
+        names = ["w", "x", "y", "z"]
+        cover = Cover.from_strings(["w'x", "xyz", "wz"], names)
+        # Transition w'xyz -> wxyz is covered by xyz... remove it:
+        cover2 = Cover.from_strings(["w'x", "wz"], names)
+        t = Cube.from_string("xyz", names)
+        assert cover2.contains_cube(t)
+        assert exhibits_static1(cover2, t)
+        assert not exhibits_static1(cover, t)
+
+    def test_nonprime_cube_expansion_flags_missing_prime(self):
+        # Both cubes are non-prime fragments of f = a; the prime 'a' is
+        # absent, so transitions crossing b are hazardous.
+        cover = Cover.from_strings(["ab", "ab'"], NAMES)
+        hazards = find_static1_hazards(cover)
+        assert any(h.transition.to_string(NAMES) == "a" for h in hazards)
+
+    def test_duplicate_cubes_are_harmless(self):
+        cover = Cover.from_strings(["ab", "ab"], NAMES)
+        assert not find_static1_hazards(cover)
+
+
+class TestCompleteness:
+    @given(cover_strategy(4))
+    @settings(max_examples=60, deadline=None)
+    def test_paper_algorithm_agrees_with_complete_on_existence(self, cover):
+        # The bit-vector algorithm and the uncovered-primes census must
+        # agree on whether any static-1 hazard exists.
+        fast = bool(find_static1_hazards(cover))
+        complete = bool(find_static1_hazards_complete(cover))
+        assert fast == complete
+
+    @given(cover_strategy(4))
+    @settings(max_examples=60, deadline=None)
+    def test_reported_hazards_are_real(self, cover):
+        for hazard in find_static1_hazards(cover):
+            assert cover.contains_cube(hazard.transition)  # implicant
+            assert exhibits_static1(cover, hazard.transition)
+
+    @given(cover_strategy(4))
+    @settings(max_examples=60, deadline=None)
+    def test_complete_hazards_are_uncovered_primes(self, cover):
+        for hazard in find_static1_hazards_complete(cover):
+            assert cover.is_prime(hazard.transition)
+            assert not cover.single_cube_contains(hazard.transition)
+
+
+class TestSicVariant:
+    def test_sic_subset_of_full(self):
+        cover = Cover.from_strings(["sa", "s'b"], MUXN)
+        sic = find_sic_static1_hazards(cover)
+        assert len(sic) == 1
+
+    @given(cover_strategy(4))
+    @settings(max_examples=40, deadline=None)
+    def test_sic_hazards_also_found_by_full_analysis(self, cover):
+        full = {h.transition for h in find_static1_hazards(cover)}
+        for hazard in find_sic_static1_hazards(cover):
+            assert hazard.transition in full
+
+
+class TestSubsetCriterion:
+    def test_complete_sum_has_fewest_hazards(self):
+        cover = Cover.from_strings(["sa", "s'b"], MUXN)
+        full = Cover(cover.all_primes(), 3)
+        # hazards(full) ⊆ hazards(cover): every cube of cover is inside
+        # a single cube of full.
+        assert static1_subset(full, cover)
+        assert not static1_subset(cover, full)
+
+    @given(cover_strategy(4))
+    @settings(max_examples=40, deadline=None)
+    def test_subset_criterion_reflexive(self, cover):
+        assert static1_subset(cover, cover)
+
+    @given(cover_strategy(4))
+    @settings(max_examples=40, deadline=None)
+    def test_prime_cover_is_minimal(self, cover):
+        full = Cover(cover.all_primes(), 4)
+        assert static1_subset(full, cover)

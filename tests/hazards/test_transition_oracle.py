@@ -1,0 +1,143 @@
+"""Tests for transition spaces, FHF predicates, and the oracle itself."""
+
+from hypothesis import given, settings
+
+from repro.boolean.cover import Cover
+from repro.boolean.cube import Cube
+from repro.boolean.paths import label_cover
+from repro.hazards.oracle import (
+    TransitionKind,
+    all_transitions,
+    classify_transition,
+    enumerate_hazards,
+    is_logic_hazard_free,
+    sic_transitions,
+)
+from repro.hazards.transition import (
+    dynamic_fhf,
+    is_fhf,
+    monotone_paths,
+    static_fhf,
+    transition_space,
+)
+
+from ..conftest import cover_strategy
+
+NAMES = ["a", "b", "c", "d"]
+
+
+class TestTransitionSpace:
+    def test_supercube_definition(self):
+        space = transition_space(0b0000, 0b0110, 4)
+        assert space.to_pattern() == "0--0"
+
+    def test_self_space_is_minterm(self):
+        space = transition_space(0b1010, 0b1010, 4)
+        assert space.is_minterm()
+
+
+class TestStaticFhf:
+    def test_static1_fhf_iff_implicant(self):
+        cover = Cover.from_strings(["ab"], NAMES)
+        assert static_fhf(cover, Cube.from_string("ab", NAMES), True)
+        assert not static_fhf(cover, Cube.from_string("a", NAMES), True)
+
+    def test_static0_fhf_iff_disjoint(self):
+        cover = Cover.from_strings(["ab"], NAMES)
+        assert static_fhf(cover, Cube.from_string("a'b'", NAMES), False)
+        assert not static_fhf(cover, Cube.from_string("b", NAMES), False)
+
+
+class TestDynamicFhf:
+    @given(cover_strategy(4))
+    @settings(max_examples=25, deadline=None)
+    def test_dynamic_fhf_matches_path_enumeration(self, cover):
+        """FHF ⟺ the function is monotone along every monotone path."""
+        checked = 0
+        for start, end in all_transitions(4):
+            if cover.evaluate(start) == cover.evaluate(end):
+                continue
+            if bin(start ^ end).count("1") > 3:
+                continue  # keep the factorial enumeration small
+            expected = True
+            for path in monotone_paths(start, end):
+                values = [cover.evaluate(p) for p in path]
+                changes = sum(
+                    1 for i in range(len(values) - 1) if values[i] != values[i + 1]
+                )
+                if changes != 1:
+                    expected = False
+                    break
+            assert dynamic_fhf(cover, start, end) == expected
+            checked += 1
+            if checked > 40:
+                break
+
+    def test_is_fhf_dispatches(self):
+        cover = Cover.from_strings(["ab", "a'c"], NAMES)
+        assert is_fhf(cover, 0b0011, 0b0011 ^ 0b1000)  # static inside ab
+
+
+class TestOracle:
+    def test_classification_kinds(self):
+        cover = Cover.from_strings(["sa", "s'b"], ["s", "a", "b"])
+        lsop = label_cover(cover, ["s", "a", "b"])
+        verdict = classify_transition(lsop, 0b111, 0b110)
+        assert verdict.kind == TransitionKind.STATIC_1
+        assert verdict.logic_hazard  # the classic mux glitch
+
+    def test_function_hazard_precludes_logic_hazard(self):
+        cover = Cover.from_strings(["ab", "cd"], NAMES)
+        lsop = label_cover(cover, NAMES)
+        for start, end in all_transitions(4):
+            verdict = classify_transition(lsop, start, end)
+            assert not (verdict.function_hazard and verdict.logic_hazard)
+
+    def test_enumerate_hazards_groups(self):
+        cover = Cover.from_strings(["sa", "s'b"], ["s", "a", "b"])
+        lsop = label_cover(cover, ["s", "a", "b"])
+        groups = enumerate_hazards(lsop)
+        assert groups[TransitionKind.STATIC_1]
+        assert not groups[TransitionKind.STATIC_0]
+
+    def test_complete_sum_of_mux_is_static1_free(self):
+        cover = Cover.from_strings(["sa", "s'b", "ab"], ["s", "a", "b"])
+        lsop = label_cover(cover, ["s", "a", "b"])
+        groups = enumerate_hazards(lsop)
+        assert not groups[TransitionKind.STATIC_1]
+        # but the dynamic hazards of intersecting cubes remain
+        assert groups[TransitionKind.DYNAMIC]
+
+    def test_single_cube_network_hazard_free(self):
+        cover = Cover.from_strings(["abc"], ["a", "b", "c"])
+        assert is_logic_hazard_free(label_cover(cover, ["a", "b", "c"]))
+
+    def test_sic_transitions_cover_all_single_flips(self):
+        pairs = set(sic_transitions(3))
+        assert len(pairs) == 8 * 3
+        for start, end in pairs:
+            assert bin(start ^ end).count("1") == 1
+
+    @given(cover_strategy(3))
+    @settings(max_examples=25, deadline=None)
+    def test_ternary_simulation_agrees_on_static_hazards(self, cover):
+        """Eichelberger ternary X ⟺ the lattice glitch on static runs."""
+        from repro.network.netlist import Netlist, cover_to_expr
+        from repro.network.simulate import eichelberger
+
+        names = ["a", "b", "c"]
+        net = Netlist("f")
+        for name in names:
+            net.add_input(name)
+        gate = net.add_gate("g", cover_to_expr(cover, names), names)
+        net.add_output("f", gate)
+        lsop = label_cover(cover, names)
+        for start, end in all_transitions(3):
+            if cover.evaluate(start) != cover.evaluate(end):
+                continue
+            env_s = {n: bool(start >> i & 1) for i, n in enumerate(names)}
+            env_e = {n: bool(end >> i & 1) for i, n in enumerate(names)}
+            ternary = eichelberger(net, env_s, env_e).went_unknown["f"]
+            verdict = classify_transition(lsop, start, end)
+            lattice = verdict.function_hazard or verdict.logic_hazard
+            assert ternary == lattice, f"{cover.to_string(names)} {start}->{end}"

@@ -1,0 +1,69 @@
+"""Tests for hazard record types: remapping, descriptions, summaries."""
+
+from repro.boolean.cover import Cover
+from repro.boolean.cube import Cube
+from repro.hazards.types import (
+    HazardSummary,
+    MicDynamicHazard,
+    SicDynamicHazard,
+    Static0Hazard,
+    Static1Hazard,
+)
+
+NAMES = ["a", "b", "c", "d"]
+
+
+class TestStatic1Record:
+    def test_remap(self):
+        hazard = Static1Hazard(Cube.from_string("ab", NAMES))
+        remapped = hazard.remap([2, 3, 0, 1], 4)
+        assert remapped.transition.to_string(NAMES) == "cd"
+
+    def test_describe(self):
+        hazard = Static1Hazard(Cube.from_string("ab", NAMES))
+        assert "static-1" in hazard.describe(NAMES)
+        assert "ab" in hazard.describe(NAMES)
+
+
+class TestStatic0AndSicRecords:
+    def test_remap_moves_var_and_condition(self):
+        condition = Cover.from_strings(["c"], NAMES)
+        hazard = Static0Hazard(0, Cube.from_string("c", NAMES), condition)
+        remapped = hazard.remap([1, 0, 3, 2], 4)
+        assert remapped.var == 1
+        assert remapped.residual.to_string(NAMES) == "d"
+
+    def test_sic_describe_names_variable(self):
+        condition = Cover.from_strings(["b"], NAMES)
+        hazard = SicDynamicHazard(2, Cube.from_string("b", NAMES), condition)
+        text = hazard.describe(NAMES)
+        assert "s.i.c." in text and "c" in text
+
+
+class TestMicDynamicRecord:
+    def test_space_is_supercube(self):
+        hazard = MicDynamicHazard(0b0001, 0b0111, 4)
+        assert hazard.space.to_pattern() == "1--0"
+
+    def test_remap_points(self):
+        hazard = MicDynamicHazard(0b0001, 0b0011, 4)
+        remapped = hazard.remap([3, 2, 1, 0], 4)
+        assert remapped.start == 0b1000
+        assert remapped.end == 0b1100
+
+    def test_describe_shows_endpoints(self):
+        hazard = MicDynamicHazard(0b0001, 0b0011, 4)
+        text = hazard.describe(NAMES)
+        assert "->" in text
+
+
+class TestSummary:
+    def test_hazard_free(self):
+        summary = HazardSummary(0, 0, 0, 0)
+        assert summary.hazard_free
+        assert str(summary) == "hazard-free"
+
+    def test_totals_and_str(self):
+        summary = HazardSummary(1, 2, 3, 4)
+        assert summary.total == 10
+        assert "s1=1" in str(summary)

@@ -1,0 +1,127 @@
+"""Property tests over randomly generated burst-mode machines.
+
+Hypothesis builds arbitrary loop-composed burst-mode specifications;
+for each we assert the full pipeline's guarantees:
+
+* synthesis succeeds and every specified burst is provably glitch-free
+  (event-lattice oracle) in the two-level equations;
+* the synthesized network implements the machine (random-walk
+  conformance against the golden interpreter);
+* the async-mapped network stays functionally equivalent AND keeps
+  every specified burst glitch-free.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.boolean.paths import label_expression
+from repro.burstmode.benchmarks import build_loop_machine
+from repro.burstmode.hfmin import HazardFreeError
+from repro.burstmode.machine import conformance_check
+from repro.burstmode.spec import SpecError
+from repro.burstmode.synth import synthesize
+from repro.hazards.oracle import classify_transition
+from repro.library import minimal_teaching_library
+from repro.mapping.mapper import async_tmap
+
+INPUTS = ["p", "q", "r"]
+OUTPUTS = ["u", "v"]
+
+
+@st.composite
+def loop_machines(draw):
+    """Random valid loop machines over a small alphabet.
+
+    Loop starters are the distinct singleton input bursts (an antichain
+    by construction); each loop does its burst twice with a random
+    output burst, guaranteeing even toggle counts.
+    """
+    num_loops = draw(st.integers(min_value=1, max_value=3))
+    starters = draw(
+        st.permutations(INPUTS).map(lambda p: list(p)[:num_loops])
+    )
+    loops = []
+    for starter in starters:
+        out_burst = draw(
+            st.lists(st.sampled_from(OUTPUTS), unique=True, max_size=2)
+        )
+        mid_extra = draw(st.booleans())
+        steps = [
+            ([starter], out_burst),
+            ([starter], out_burst),
+        ]
+        if mid_extra:
+            other = draw(st.sampled_from([i for i in INPUTS if i != starter]))
+            second_out = draw(
+                st.lists(st.sampled_from(OUTPUTS), unique=True, max_size=2)
+            )
+            steps = [
+                ([starter], out_burst),
+                ([other], second_out),
+                ([starter], out_burst),
+                ([other], second_out),
+            ]
+        loops.append(steps)
+    return loops
+
+
+@pytest.fixture(scope="module")
+def mini():
+    library = minimal_teaching_library()
+    if not library.annotated:
+        library.annotate_hazards()
+    return library
+
+
+class TestRandomMachines:
+    @given(loop_machines())
+    @settings(max_examples=15, deadline=None)
+    def test_synthesis_is_hazard_free_for_specified_bursts(self, loops):
+        try:
+            spec = build_loop_machine("rand", INPUTS, OUTPUTS, loops)
+        except (ValueError, SpecError):
+            return  # generator produced an invalid composition: skip
+        try:
+            synthesis = synthesize(spec)
+        except HazardFreeError:
+            return  # legitimately unrealizable specification
+        from repro.network.netlist import cover_to_expr
+
+        for target, cover in synthesis.equations.items():
+            lsop = label_expression(
+                cover_to_expr(cover, synthesis.variables), synthesis.variables
+            )
+            for spec_t in synthesis.transitions[target]:
+                verdict = classify_transition(lsop, spec_t.start, spec_t.end)
+                assert not verdict.logic_hazard, (target, spec_t)
+
+    @given(loop_machines())
+    @settings(max_examples=10, deadline=None)
+    def test_synthesized_machine_conforms(self, loops):
+        try:
+            spec = build_loop_machine("rand", INPUTS, OUTPUTS, loops)
+            synthesis = synthesize(spec)
+        except (ValueError, SpecError, HazardFreeError):
+            return
+        assert conformance_check(synthesis, steps=60, seed=3) == []
+
+    @given(loop_machines())
+    @settings(max_examples=8, deadline=None)
+    def test_async_mapping_preserves_everything(self, mini, loops):
+        try:
+            spec = build_loop_machine("rand", INPUTS, OUTPUTS, loops)
+            synthesis = synthesize(spec)
+        except (ValueError, SpecError, HazardFreeError):
+            return
+        net = synthesis.netlist("rand")
+        result = async_tmap(net, mini)
+        assert result.mapped.equivalent(net)
+        for target in synthesis.equations:
+            lsop = label_expression(
+                result.mapped.collapse(target), synthesis.variables
+            )
+            for spec_t in synthesis.transitions[target]:
+                verdict = classify_transition(lsop, spec_t.start, spec_t.end)
+                assert not verdict.logic_hazard, (target, spec_t)
+        assert conformance_check(synthesis, result.mapped, steps=40, seed=4) == []

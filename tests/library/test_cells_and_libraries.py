@@ -1,0 +1,95 @@
+"""Tests for cells, libraries, and the hazard-annotation pass."""
+
+import pytest
+
+from repro.boolean import truthtable as tt
+from repro.library.cell import LibraryCell
+from repro.library.library import Library
+
+
+class TestLibraryCell:
+    def test_from_text_defaults(self):
+        cell = LibraryCell.from_text("AOI21", "(a*b + c)'", delay=1.2)
+        assert cell.pins == ["a", "b", "c"]
+        assert cell.area == 3.0  # pulldown transistor count
+
+    def test_explicit_pin_order(self):
+        cell = LibraryCell.from_text(
+            "MUX", "s'*a + s*b", delay=1.0, pins=["s", "a", "b"]
+        )
+        assert cell.pins == ["s", "a", "b"]
+
+    def test_undeclared_pin_rejected(self):
+        with pytest.raises(ValueError):
+            LibraryCell.from_text("BAD", "a*b", delay=1.0, pins=["a"])
+
+    def test_truth_table_matches_expression(self):
+        cell = LibraryCell.from_text("OAI21", "((a + b)*c)'", delay=1.0)
+        table = cell.truth_table()
+        for point in range(8):
+            env = {p: bool(point >> i & 1) for i, p in enumerate(cell.pins)}
+            assert tt.evaluate(table, point) == cell.expression.evaluate(env)
+
+    def test_is_hazardous_requires_annotation(self):
+        cell = LibraryCell.from_text("AND2", "a*b", delay=1.0)
+        with pytest.raises(RuntimeError):
+            __ = cell.is_hazardous
+        cell.annotate()
+        assert not cell.is_hazardous
+
+    def test_mux_cell_is_hazardous(self):
+        cell = LibraryCell.from_text("MUX21", "s'*a + s*b", delay=1.0)
+        cell.annotate()
+        assert cell.is_hazardous
+
+
+class TestLibrary:
+    def make_library(self):
+        return Library.from_spec(
+            "T",
+            [
+                ("INV", "a'", None, 0.5),
+                ("AND2", "a*b", None, 1.0),
+                ("OR2", "a + b", None, 1.0),
+                ("MUX21", "s'*a + s*b", None, 1.5, "mux"),
+            ],
+        )
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValueError):
+            Library.from_spec(
+                "D", [("X", "a", None, 1.0), ("X", "a'", None, 1.0)]
+            )
+
+    def test_by_pin_count(self):
+        lib = self.make_library()
+        assert {c.name for c in lib.by_pin_count(2)} == {"AND2", "OR2"}
+        assert {c.name for c in lib.by_pin_count(3)} == {"MUX21"}
+
+    def test_candidates_signature_filter(self):
+        lib = self.make_library()
+        and_table = tt.from_callable(lambda p: p == 3, 2)
+        names = {c.name for c in lib.candidates(and_table, 2)}
+        assert "AND2" in names
+        assert "OR2" not in names
+
+    def test_annotation_report(self):
+        lib = self.make_library()
+        report = lib.annotate_hazards()
+        assert report.cells == 4
+        assert report.hazardous == 1
+        assert report.hazardous_fraction == pytest.approx(0.25)
+        assert lib.annotated
+
+    def test_census(self):
+        lib = self.make_library()
+        census = lib.census()
+        assert census["hazardous"] == 1
+        assert census["total"] == 4
+        assert census["hazardous_families"] == ["mux"]
+
+    def test_cell_lookup(self):
+        lib = self.make_library()
+        assert lib.cell("INV").name == "INV"
+        with pytest.raises(KeyError):
+            lib.cell("MISSING")

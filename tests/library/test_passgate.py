@@ -1,0 +1,112 @@
+"""Tests for the pass-transistor hazard model (section 6 future work)."""
+
+import pytest
+
+from repro.boolean import Cover
+from repro.hazards import analyze_cover
+from repro.library.passgate import (
+    PassGateAnalyzer,
+    PassMux,
+    PassVerdict,
+    act1_style_mux,
+    act2_c_module,
+)
+
+
+@pytest.fixture
+def mux():
+    return PassMux("s", "b", "a")  # s=1 -> b, s=0 -> a
+
+
+class TestStructure:
+    def test_support_partition(self, mux):
+        assert mux.selects() == {"s"}
+        assert mux.leaves() == {"a", "b"}
+
+    def test_evaluate_is_mux(self, mux):
+        assert mux.evaluate({"s": False, "a": True, "b": False})
+        assert not mux.evaluate({"s": True, "a": True, "b": False})
+
+    def test_nested_tree(self):
+        tree = act2_c_module("s0", "s1", "d0", "d1", "d2", "d3")
+        assert tree.selects() == {"s0", "s1"}
+        assert tree.leaves() == {"d0", "d1", "d2", "d3"}
+        env = {"s0": True, "s1": False, "d0": 0, "d1": 1, "d2": 0, "d3": 0}
+        assert tree.evaluate(env)  # selects d1
+
+    def test_missing_name_rejected(self, mux):
+        with pytest.raises(ValueError):
+            PassGateAnalyzer(mux, names=["s", "a"])
+
+
+class TestHazardSemantics:
+    def test_select_change_equal_data_is_clean(self, mux):
+        """The paper's headline difference: charge storage holds the
+        output through the float window, so the CMOS mux's classic
+        static-1 glitch does not occur in the pass network."""
+        analyzer = PassGateAnalyzer(mux)
+        idx = analyzer.index
+        start = (1 << idx["a"]) | (1 << idx["b"]) | (1 << idx["s"])
+        end = start & ~(1 << idx["s"])
+        assert analyzer.classify(start, end).verdict is PassVerdict.CLEAN
+        # ...whereas the AND-OR structure of the same function is
+        # statically hazardous.
+        cover = Cover.from_strings(["sb", "s'a"], ["a", "b", "s"])
+        assert analyze_cover(cover, ["a", "b", "s"]).static1
+
+    def test_select_change_with_different_data_contends(self, mux):
+        analyzer = PassGateAnalyzer(mux)
+        idx = analyzer.index
+        start = (1 << idx["a"]) | (1 << idx["s"])  # a=1, b=0, s=1
+        end = start & ~(1 << idx["s"])
+        assert analyzer.classify(start, end).verdict is PassVerdict.CONTENTION
+
+    def test_data_only_changes_are_clean(self, mux):
+        analyzer = PassGateAnalyzer(mux)
+        idx = analyzer.index
+        start = 1 << idx["s"]  # selecting b=0
+        end = start | (1 << idx["b"])
+        assert analyzer.classify(start, end).verdict is PassVerdict.CLEAN
+
+    def test_unselected_data_change_is_invisible(self, mux):
+        analyzer = PassGateAnalyzer(mux)
+        idx = analyzer.index
+        start = 1 << idx["s"]  # selecting b
+        end = start | (1 << idx["a"])  # a changes, not selected
+        assert analyzer.classify(start, end).verdict is PassVerdict.CLEAN
+
+    def test_hazard_census_differs_from_cmos(self, mux):
+        """Pass networks trade the CMOS static-1 hazards for contention:
+        the hazard *classes* differ, which is why the paper says they
+        "do not exhibit the same hazard behavior"."""
+        analyzer = PassGateAnalyzer(mux)
+        verdicts = {t.verdict for t in analyzer.hazardous_transitions()}
+        assert verdicts == {PassVerdict.CONTENTION}
+
+    def test_act2_module_contends_only(self):
+        analyzer = PassGateAnalyzer(act2_c_module("s0", "s1", "a", "b", "c", "d"))
+        # sample a handful of transitions rather than all 4^6
+        idx = analyzer.index
+        start = (1 << idx["a"]) | (1 << idx["s0"])
+        end = start ^ (1 << idx["s0"]) ^ (1 << idx["b"])
+        verdict = analyzer.classify(start, end)
+        assert verdict.verdict in (PassVerdict.CLEAN, PassVerdict.CONTENTION)
+
+    def test_act1_style_helper(self):
+        tree = act1_style_mux("s", "low", "high")
+        assert tree.evaluate({"s": True, "low": False, "high": True})
+        assert not tree.evaluate({"s": False, "low": False, "high": True})
+
+    def test_function_agrees_with_boolean_mux(self, mux):
+        analyzer = PassGateAnalyzer(mux)
+        cover = Cover.from_strings(["sb", "s'a"], ["a", "b", "s"])
+        for point in range(8):
+            env = {n: bool(point >> i & 1) for i, n in enumerate(analyzer.names)}
+            assert mux.evaluate(env) == cover.evaluate(point)
+
+    def test_too_wide_transition_rejected(self):
+        deep = act2_c_module("s0", "s1", "a", "b", "c", "d")
+        wide = PassMux("t", deep, act2_c_module("u0", "u1", "e", "f", "g", "h"))
+        analyzer = PassGateAnalyzer(wide)
+        with pytest.raises(ValueError):
+            analyzer.classify(0, (1 << analyzer.nvars) - 1)

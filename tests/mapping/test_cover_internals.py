@@ -1,0 +1,101 @@
+"""Tests for covering internals: stats, caps, and cone covers."""
+
+import pytest
+
+from repro.library import Library, minimal_teaching_library
+from repro.mapping.cover import ConeCover, CoverStats, cover_cone
+from repro.mapping.cuts import enumerate_clusters
+from repro.network.decompose import async_tech_decomp
+from repro.network.netlist import Netlist
+from repro.network.partition import partition
+
+
+def decompose(equations):
+    net = Netlist.from_equations(equations)
+    decomposed = async_tech_decomp(net)
+    return decomposed, partition(decomposed)
+
+
+class TestCoverStats:
+    def test_merge_accumulates(self):
+        a = CoverStats(clusters=1, matches=2, hazardous_matches=3,
+                       hazard_rejections=4, hazard_accepts=5, dc_waivers=6)
+        b = CoverStats(clusters=10, matches=20, hazardous_matches=30,
+                       hazard_rejections=40, hazard_accepts=50, dc_waivers=60)
+        a.merge(b)
+        assert (a.clusters, a.matches, a.dc_waivers) == (11, 22, 66)
+
+
+class TestConeCover:
+    def test_area_sums_selected_cells(self, mini_library):
+        decomposed, cones = decompose({"f": "a*b + c"})
+        cover = cover_cone(decomposed, cones[0], mini_library)
+        assert cover.area == sum(
+            s.match.cell.area for s in cover.selections
+        )
+        assert cover.area > 0
+
+    def test_selections_cover_whole_cone(self, mini_library):
+        decomposed, cones = decompose({"f": "a*b*c + d'"})
+        cover = cover_cone(decomposed, cones[0], mini_library)
+        replaced = set()
+        for selection in cover.selections:
+            replaced |= set(selection.cluster.members)
+        assert replaced == set(cones[0].members)
+
+    def test_objective_area_at_least_as_small(self, mini_library):
+        decomposed, cones = decompose({"f": "a*b*c*d + a'*b'"})
+        area_first = cover_cone(
+            decomposed, cones[0], mini_library, objective="area"
+        )
+        delay_first = cover_cone(
+            decomposed, cones[0], mini_library, objective="delay"
+        )
+        assert area_first.area <= delay_first.area + 1e-9
+
+
+class TestClusterCaps:
+    def test_per_node_cluster_cap(self):
+        decomposed, cones = decompose(
+            {"f": "a*b*c*d + a'*b'*c'*d' + a*b'*c*d'"}
+        )
+        capped = enumerate_clusters(
+            decomposed, cones[0], max_clusters_per_node=2
+        )
+        for group in capped.values():
+            assert len(group) <= 2
+
+    def test_uncapped_superset_of_capped(self):
+        decomposed, cones = decompose({"f": "a*b + c*d"})
+        capped = enumerate_clusters(
+            decomposed, cones[0], max_clusters_per_node=1
+        )
+        full = enumerate_clusters(
+            decomposed, cones[0], max_clusters_per_node=None
+        )
+        for node, group in capped.items():
+            assert len(group) <= len(full[node])
+
+
+class TestLibraryRequirements:
+    def test_inverter_only_library_cannot_cover(self):
+        from repro.mapping.cover import MappingError
+
+        poor = Library.from_spec("POOR", [("INV", "a'", None, 0.5)])
+        decomposed, cones = decompose({"f": "a*b"})
+        with pytest.raises(MappingError):
+            cover_cone(decomposed, cones[0], poor)
+
+    def test_base_gate_library_suffices(self):
+        base = Library.from_spec(
+            "BASE",
+            [
+                ("INV", "a'", None, 0.5),
+                ("AND2", "a*b", None, 1.0),
+                ("OR2", "a + b", None, 1.0),
+            ],
+        )
+        decomposed, cones = decompose({"f": "a*b' + c*d + a'*c'"})
+        for cone in cones:
+            cover = cover_cone(decomposed, cone, base)
+            assert cover.selections

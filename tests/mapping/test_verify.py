@@ -1,0 +1,86 @@
+"""Tests for post-mapping verification."""
+
+from repro.library import minimal_teaching_library
+from repro.mapping.mapper import async_tmap
+from repro.mapping.verify import VerificationReport, verify_mapping
+from repro.network.netlist import Netlist
+
+
+class TestVerifyMapping:
+    def test_identical_network_passes(self):
+        net = Netlist.from_equations({"f": "a*b + c"})
+        report = verify_mapping(net, net.copy())
+        assert report.ok
+        assert report.transitions_checked > 0
+
+    def test_functional_mismatch_detected(self):
+        net = Netlist.from_equations({"f": "a*b"})
+        wrong = Netlist.from_equations({"f": "a + b"})
+        report = verify_mapping(net, wrong)
+        assert not report.equivalent
+        assert "functional mismatch" in report.violations
+
+    def test_new_hazard_detected_exhaustively(self):
+        safe = Netlist.from_equations({"f": "s*a + s'*b + a*b"})
+        risky = Netlist.from_equations({"f": "s*a + s'*b"})
+        report = verify_mapping(safe, risky)
+        assert report.equivalent
+        assert not report.hazard_safe
+        assert any("static-1" in v for v in report.violations)
+
+    def test_hazard_trade_is_not_a_subset(self):
+        # Subtle but correct: adding the consensus cube removes the
+        # static-1 hazard yet *introduces* m.i.c. dynamic hazards (the
+        # new cube intersections can pulse).  Replacement legality is
+        # subset-of-hazards, not fewer-hazards — Theorem 3.2 verbatim.
+        risky = Netlist.from_equations({"f": "s*a + s'*b"})
+        safe = Netlist.from_equations({"f": "s*a + s'*b + a*b"})
+        report = verify_mapping(risky, safe)
+        assert report.equivalent
+        assert not report.hazard_safe
+        assert any("dynamic" in v for v in report.violations)
+
+    def test_true_hazard_reduction_passes(self):
+        # A single complex gate has no logic hazards at all — replacing
+        # the two-gate structure with it is always legal.
+        risky = Netlist.from_equations({"f": "(w*y + x*y)"})
+        single = Netlist.from_equations({"f": "(w + x)*y"})
+        report = verify_mapping(risky, single)
+        assert report.ok
+
+    def test_sampled_path_for_wide_networks(self):
+        # 10 inputs forces the sampled ternary path.
+        equations = {
+            f"f{i}": f"x{i}*y{i} + x{i}'*z{i}" for i in range(4)
+        }
+        net = Netlist.from_equations(equations)
+        assert len(net.inputs) > 8
+        report = verify_mapping(net, net.copy(), exhaustive_limit=8, samples=50)
+        assert report.ok
+        assert report.transitions_checked == 50
+
+    def test_sampled_catches_gross_hazard(self, mini_library):
+        equations = {
+            "f": "s*a + s'*b + a*b",
+            "g0": "p0*q0", "g1": "p1*q1", "g2": "p2*q2",
+            "g3": "p3*q3", "g4": "p4*q4",
+        }
+        net = Netlist.from_equations(equations)
+        risky = dict(equations)
+        risky["f"] = "s*a + s'*b"
+        broken = Netlist.from_equations(risky)
+        report = verify_mapping(net, broken, exhaustive_limit=4, samples=400)
+        assert report.equivalent
+        assert not report.hazard_safe
+
+    def test_report_ok_property(self):
+        report = VerificationReport(equivalent=True, hazard_safe=False)
+        assert not report.ok
+        report = VerificationReport(equivalent=True, hazard_safe=True)
+        assert report.ok
+
+    def test_async_mapping_always_passes(self, mini_library):
+        for text in ("a*b + c'*d", "s*a + s'*b + a*b", "(a + b)*(c + d)"):
+            net = Netlist.from_equations({"f": text})
+            result = async_tmap(net, mini_library)
+            assert verify_mapping(net, result.mapped).ok, text

@@ -1,0 +1,142 @@
+"""Tests for decomposition (§3.1.1) and cone partitioning (§3.1.2)."""
+
+from hypothesis import given, settings
+
+from repro.boolean.cover import Cover
+from repro.boolean.paths import label_expression
+from repro.hazards.oracle import hazard_subset
+from repro.hazards.static1 import has_static1_hazard
+from repro.network.decompose import (
+    async_tech_decomp,
+    base_gate_kind,
+    is_base_network,
+    tech_decomp,
+)
+from repro.network.netlist import Netlist, cover_to_expr
+from repro.network.partition import Cone, cone_depths, partition
+
+from ..conftest import cover_strategy
+
+
+def net_from_cover(cover, names):
+    net = Netlist("f")
+    for name in names:
+        net.add_input(name)
+    gate = net.add_gate("g", cover_to_expr(cover, names), names)
+    net.add_output("f", gate)
+    return net
+
+
+class TestAsyncDecomp:
+    def test_produces_base_network(self):
+        net = Netlist.from_equations({"f": "a*b*c + d'*(a + c)"})
+        decomposed = async_tech_decomp(net)
+        assert is_base_network(decomposed)
+
+    @given(cover_strategy(4, max_cubes=4))
+    @settings(max_examples=25, deadline=None)
+    def test_function_preserved(self, cover):
+        names = ["a", "b", "c", "d"]
+        net = net_from_cover(cover, names)
+        decomposed = async_tech_decomp(net)
+        assert decomposed.equivalent(net)
+
+    @given(cover_strategy(4, max_cubes=3))
+    @settings(max_examples=15, deadline=None)
+    def test_hazard_behaviour_identical(self, cover):
+        """The associative+DeMorgan decomposition preserves *all* logic
+        hazards in both directions (Unger / section 3.1.1)."""
+        names = ["a", "b", "c", "d"]
+        net = net_from_cover(cover, names)
+        decomposed = async_tech_decomp(net)
+        src = label_expression(net.collapse("f"), names)
+        dec = label_expression(decomposed.collapse("f"), names)
+        assert hazard_subset(src, dec)
+        assert hazard_subset(dec, src)
+
+    def test_right_leaning_chain_variant(self):
+        net = Netlist.from_equations({"f": "a*b*c*d"})
+        chain = async_tech_decomp(net, balanced=False)
+        assert is_base_network(chain)
+        assert chain.equivalent(net)
+
+    def test_inverters_shared(self):
+        net = Netlist.from_equations({"f": "a'*b + a'*c"})
+        decomposed = async_tech_decomp(net)
+        inverters = [
+            n for n in decomposed.gates() if base_gate_kind(n.func) == "inv"
+        ]
+        assert len(inverters) == 1
+
+
+class TestSyncDecomp:
+    def test_simplification_drops_redundant_cube(self):
+        # Figure 3's effect, at network level.
+        net = Netlist.from_equations({"f": "s*a + s'*b + a*b"})
+        sync = tech_decomp(net)
+        assert sync.equivalent(net)
+        names = sorted(net.inputs)
+        flattened = sync.collapse("f").to_cover(names)
+        assert has_static1_hazard(flattened)
+
+    def test_async_keeps_redundant_cube(self):
+        net = Netlist.from_equations({"f": "s*a + s'*b + a*b"})
+        asyn = async_tech_decomp(net)
+        names = sorted(net.inputs)
+        flattened = asyn.collapse("f").to_cover(names)
+        assert not has_static1_hazard(flattened)
+
+
+class TestPartition:
+    def test_single_cone_for_tree(self):
+        net = Netlist.from_equations({"f": "a*b + c"})
+        decomposed = async_tech_decomp(net)
+        cones = partition(decomposed)
+        assert len(cones) == 1
+        assert set(cones[0].leaves) <= set(decomposed.inputs)
+
+    def test_fanout_point_becomes_root(self):
+        net = Netlist()
+        for name in ("a", "b", "c", "d"):
+            net.add_input(name)
+        from repro.boolean.expr import parse
+
+        shared = net.add_gate("s", parse("a*b"), ["a", "b"])
+        g1 = net.add_gate("g1", parse("s + c"), ["s", "c"])
+        g2 = net.add_gate("g2", parse("s + d"), ["s", "d"])
+        net.add_output("f1", g1)
+        net.add_output("f2", g2)
+        cones = partition(net)
+        roots = {c.root for c in cones}
+        assert roots == {"s", "g1", "g2"}
+        # the shared node is a leaf of both consumer cones
+        for cone in cones:
+            if cone.root in ("g1", "g2"):
+                assert "s" in cone.leaves
+
+    def test_cones_partition_all_gates(self):
+        net = Netlist.from_equations(
+            {"f": "a*b + c*d", "g": "a*b + c'"},
+        )
+        decomposed = async_tech_decomp(net)
+        cones = partition(decomposed)
+        covered = set()
+        for cone in cones:
+            assert not (covered & set(cone.members))
+            covered |= set(cone.members)
+        assert covered == {n.name for n in decomposed.gates()}
+
+    def test_topological_root_order(self):
+        net = Netlist.from_equations({"g": "f + d", "f": "a*b"})
+        decomposed = async_tech_decomp(net)
+        cones = partition(decomposed)
+        order = decomposed.topological_order()
+        indices = [order.index(c.root) for c in cones]
+        assert indices == sorted(indices)
+
+    def test_cone_depths(self):
+        net = Netlist.from_equations({"f": "a*b*c*d"})
+        decomposed = async_tech_decomp(net)
+        cones = partition(decomposed)
+        depths = cone_depths(decomposed, cones[0])
+        assert depths[cones[0].root] >= 2

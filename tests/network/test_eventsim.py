@@ -1,0 +1,135 @@
+"""Tests for the event-driven timing simulator.
+
+The key cross-validation: any glitch *observed* under a concrete delay
+assignment must be *predicted* by the hazard algebra, and the classic
+hazard witnesses must be reproducible as actual waveforms.
+"""
+
+import random
+
+from repro.boolean.cover import Cover
+from repro.boolean.cube import Cube
+from repro.boolean.paths import label_cover
+from repro.hazards.oracle import classify_transition
+from repro.network.decompose import async_tech_decomp
+from repro.network.eventsim import (
+    EventSimulator,
+    Waveform,
+    burst_response,
+    output_glitches,
+)
+from repro.network.netlist import Netlist, cover_to_expr
+
+
+def mux_net(with_consensus: bool) -> Netlist:
+    terms = "s*a + s'*b" + (" + a*b" if with_consensus else "")
+    return Netlist.from_equations({"f": terms})
+
+
+class TestWaveform:
+    def test_change_count_merges_duplicates(self):
+        from repro.network.eventsim import Edge
+
+        wave = Waveform(False, [Edge(1, "f", True), Edge(2, "f", True),
+                                Edge(3, "f", False)])
+        assert wave.change_count == 2
+        assert wave.final is False
+
+    def test_value_at(self):
+        from repro.network.eventsim import Edge
+
+        wave = Waveform(False, [Edge(1.0, "f", True)])
+        assert not wave.value_at(0.5)
+        assert wave.value_at(1.0)
+
+
+class TestEventSimulator:
+    def test_stable_input_produces_no_edges(self):
+        net = mux_net(False)
+        sim = EventSimulator(net)
+        waves = sim.run({"s": 1, "a": 1, "b": 1}, [])
+        assert all(not w.edges for w in waves.values())
+
+    def test_single_and_gate_monotone(self):
+        net = Netlist.from_equations({"f": "a*b"})
+        sim = EventSimulator(net)
+        waves = sim.run({"a": 0, "b": 1}, [(0.0, "a", True)])
+        assert waves["f"].change_count == 1
+        assert waves["f"].final is True
+
+    def test_final_values_match_static_evaluation(self):
+        net = mux_net(True)
+        sim = EventSimulator.with_random_delays(net, seed=4)
+        start = {"s": 1, "a": 0, "b": 1}
+        end = {"s": 0, "a": 1, "b": 1}
+        waves = burst_response(sim, start, end, seed=4)
+        settled = net.evaluate(end)
+        for name in net.outputs:
+            assert waves[name].final == settled[name]
+
+    def test_non_input_edge_rejected(self):
+        net = mux_net(False)
+        sim = EventSimulator(net)
+        try:
+            sim.run({"s": 0, "a": 0, "b": 0}, [(0.0, "f", True)])
+        except ValueError:
+            return
+        raise AssertionError("expected ValueError")
+
+
+class TestHazardWitnesses:
+    def test_two_cube_mux_glitches_somewhere(self):
+        # a monolithic gate cannot glitch in a pure-delay model; the
+        # hazard lives in the decomposed gate-level structure.
+        net = async_tech_decomp(mux_net(False))
+        verdicts = output_glitches(
+            net, {"s": 1, "a": 1, "b": 1}, {"s": 0, "a": 1, "b": 1}, trials=30
+        )
+        assert verdicts["f"], "the classic mux glitch must be witnessable"
+
+    def test_consensus_mux_never_glitches_on_select(self):
+        net = async_tech_decomp(mux_net(True))
+        verdicts = output_glitches(
+            net, {"s": 1, "a": 1, "b": 1}, {"s": 0, "a": 1, "b": 1}, trials=40
+        )
+        assert not verdicts["f"]
+
+    def test_decomposed_network_keeps_the_witness(self):
+        net = async_tech_decomp(mux_net(False))
+        verdicts = output_glitches(
+            net, {"s": 1, "a": 1, "b": 1}, {"s": 0, "a": 1, "b": 1}, trials=40
+        )
+        assert verdicts["f"]
+
+    def test_observed_glitches_are_always_predicted(self):
+        """Soundness: a sampled waveform glitch implies the hazard
+        algebra flags the transition (function or logic hazard)."""
+        rng = random.Random(9)
+        names = ["a", "b", "c"]
+        for __ in range(25):
+            cubes = []
+            for ___ in range(rng.randint(1, 4)):
+                used = rng.randint(1, 7)
+                phase = rng.randint(0, 7)
+                cubes.append(Cube(used, phase, 3))
+            cover = Cover(cubes, 3).dedup()
+            net = Netlist("f")
+            for name in names:
+                net.add_input(name)
+            gate = net.add_gate("g", cover_to_expr(cover, names), names)
+            net.add_output("f", gate)
+            net = async_tech_decomp(net)  # gate-level structure can glitch
+            lsop = label_cover(cover, names)
+            start_point = rng.randrange(8)
+            end_point = rng.randrange(8)
+            if start_point == end_point:
+                continue
+            start = {n: bool(start_point >> i & 1) for i, n in enumerate(names)}
+            end = {n: bool(end_point >> i & 1) for i, n in enumerate(names)}
+            verdicts = output_glitches(net, start, end, trials=8, seed=rng.randrange(999))
+            if verdicts["f"]:
+                verdict = classify_transition(lsop, start_point, end_point)
+                assert verdict.function_hazard or verdict.logic_hazard, (
+                    cover.to_string(names),
+                    f"{start_point:03b}->{end_point:03b}",
+                )

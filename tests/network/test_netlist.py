@@ -1,0 +1,124 @@
+"""Tests for the logic-network substrate."""
+
+import pytest
+
+from repro.boolean.cover import Cover
+from repro.boolean.expr import Var, parse
+from repro.network.netlist import Netlist, NetlistError, cover_to_expr
+
+
+class TestConstruction:
+    def test_from_equations_basic(self):
+        net = Netlist.from_equations({"f": "a*b + c"})
+        assert sorted(net.inputs) == ["a", "b", "c"]
+        assert net.outputs == ["f"]
+        assert net.gate_count() == 1
+
+    def test_from_equations_nested(self):
+        net = Netlist.from_equations({"g": "f + d", "f": "a*b"})
+        order = net.topological_order()
+        assert order.index("f__logic") < order.index("g__logic")
+        assert net.evaluate({"a": 1, "b": 1, "d": 0})["g"]
+
+    def test_cyclic_equations_rejected(self):
+        with pytest.raises(NetlistError):
+            Netlist.from_equations({"f": "g", "g": "f"})
+
+    def test_duplicate_node_rejected(self):
+        net = Netlist()
+        net.add_input("a")
+        with pytest.raises(NetlistError):
+            net.add_input("a")
+
+    def test_unknown_fanin_rejected(self):
+        net = Netlist()
+        with pytest.raises(NetlistError):
+            net.add_gate("g", parse("x*y"))
+
+    def test_undeclared_input_rejected(self):
+        with pytest.raises(NetlistError):
+            Netlist.from_equations({"f": "a*b"}, inputs=["a"])
+
+    def test_fresh_name_unique(self):
+        net = Netlist()
+        net.add_input("n1")
+        assert net.fresh_name("n") != "n1"
+
+
+class TestSemantics:
+    def test_evaluate(self):
+        net = Netlist.from_equations({"f": "a*b + c'"})
+        assert net.evaluate({"a": 0, "b": 0, "c": 0})["f"]
+        assert not net.evaluate({"a": 0, "b": 1, "c": 1})["f"]
+
+    def test_collapse_duplicates_fanout_paths(self):
+        net = Netlist()
+        net.add_input("a")
+        net.add_input("b")
+        shared = net.add_gate("s", parse("a*b"), ["a", "b"])
+        g = net.add_gate("g", parse("s + a"), ["s", "a"])
+        net.add_output("f", g)
+        expr = net.collapse("f")
+        assert expr.support() == {"a", "b"}
+        assert expr.evaluate({"a": True, "b": False})
+
+    def test_collapse_stop_at(self):
+        net = Netlist.from_equations({"g": "f*d", "f": "a + b"})
+        expr = net.collapse("g", stop_at={"f__logic"})
+        assert "f__logic" in expr.support()
+
+    def test_output_covers(self):
+        net = Netlist.from_equations({"f": "a*b"})
+        covers = net.output_covers(["a", "b"])
+        assert covers["f"].to_string(["a", "b"]) == "ab"
+
+    def test_equivalent_positive(self):
+        n1 = Netlist.from_equations({"f": "a*b + a*c"})
+        n2 = Netlist.from_equations({"f": "a*(b + c)"})
+        assert n1.equivalent(n2)
+
+    def test_equivalent_negative(self):
+        n1 = Netlist.from_equations({"f": "a*b"})
+        n2 = Netlist.from_equations({"f": "a + b"})
+        assert not n1.equivalent(n2)
+
+    def test_equivalent_requires_same_interface(self):
+        n1 = Netlist.from_equations({"f": "a*b"})
+        n2 = Netlist.from_equations({"g": "a*b"})
+        assert not n1.equivalent(n2)
+
+
+class TestMetrics:
+    def test_literal_count(self):
+        net = Netlist.from_equations({"f": "a*b + c"})
+        assert net.literal_count() == 3
+
+    def test_unmapped_delay_counts_levels(self):
+        net = Netlist.from_equations({"g": "f*c", "f": "a + b"})
+        assert net.critical_path_delay() == pytest.approx(2.0)
+
+    def test_stats_keys(self):
+        stats = Netlist.from_equations({"f": "a"}).stats()
+        assert set(stats) >= {"inputs", "outputs", "gates", "area", "delay"}
+
+    def test_copy_is_independent(self):
+        net = Netlist.from_equations({"f": "a*b"})
+        clone = net.copy()
+        clone.add_input("zzz")
+        assert "zzz" not in net.nodes
+
+
+class TestCoverToExpr:
+    def test_structure_preserved(self):
+        cover = Cover.from_strings(["ab", "ab"], ["a", "b"])
+        expr = cover_to_expr(cover, ["a", "b"])
+        # duplicate cubes stay — they are distinct gates.
+        assert expr.num_literals() == 4
+
+    def test_empty_cover_is_false(self):
+        expr = cover_to_expr(Cover.empty(2), ["a", "b"])
+        assert not expr.evaluate({"a": True, "b": True})
+
+    def test_universal_cube(self):
+        expr = cover_to_expr(Cover.one(2), ["a", "b"])
+        assert expr.evaluate({"a": False, "b": False})

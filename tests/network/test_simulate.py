@@ -1,0 +1,73 @@
+"""Tests for binary and Eichelberger ternary simulation."""
+
+import pytest
+
+from repro.boolean.expr import parse
+from repro.network.netlist import Netlist
+from repro.network.simulate import (
+    ONE,
+    X,
+    ZERO,
+    eichelberger,
+    eval_ternary,
+    simulate_ternary,
+    static_hazard_ternary,
+    ternary_and,
+    ternary_not,
+    ternary_or,
+)
+
+
+class TestTernaryAlgebra:
+    def test_not(self):
+        assert ternary_not(ZERO) == ONE
+        assert ternary_not(ONE) == ZERO
+        assert ternary_not(X) == X
+
+    def test_and_dominance(self):
+        assert ternary_and([ZERO, X]) == ZERO
+        assert ternary_and([ONE, X]) == X
+        assert ternary_and([ONE, ONE]) == ONE
+
+    def test_or_dominance(self):
+        assert ternary_or([ONE, X]) == ONE
+        assert ternary_or([ZERO, X]) == X
+        assert ternary_or([ZERO, ZERO]) == ZERO
+
+    def test_eval_ternary_expression(self):
+        expr = parse("a*b + c'")
+        assert eval_ternary(expr, {"a": X, "b": ONE, "c": ZERO}) == ONE
+        assert eval_ternary(expr, {"a": X, "b": ONE, "c": ONE}) == X
+
+
+class TestEichelberger:
+    def test_mux_select_glitch_detected(self):
+        net = Netlist.from_equations({"f": "s*a + s'*b"})
+        assert static_hazard_ternary(
+            net, "f", {"s": 1, "a": 1, "b": 1}, {"s": 0, "a": 1, "b": 1}
+        )
+
+    def test_consensus_removes_glitch(self):
+        net = Netlist.from_equations({"f": "s*a + s'*b + a*b"})
+        assert not static_hazard_ternary(
+            net, "f", {"s": 1, "a": 1, "b": 1}, {"s": 0, "a": 1, "b": 1}
+        )
+
+    def test_dynamic_transition_rejected_by_static_checker(self):
+        net = Netlist.from_equations({"f": "a"})
+        with pytest.raises(ValueError):
+            static_hazard_ternary(net, "f", {"a": 0}, {"a": 1})
+
+    def test_procedure_b_resolves_final_value(self):
+        net = Netlist.from_equations({"f": "s*a + s'*b"})
+        result = eichelberger(
+            net, {"s": 1, "a": 1, "b": 0}, {"s": 0, "a": 1, "b": 0}
+        )
+        assert result.final["f"] == ZERO
+
+    def test_unchanged_inputs_stay_binary(self):
+        net = Netlist.from_equations({"f": "a*b"})
+        values = simulate_ternary(net, {"a": ONE, "b": X})
+        assert values["f"] == X
+        values = simulate_ternary(net, {"a": ZERO, "b": X})
+        assert values["f"] == ZERO

@@ -1,0 +1,63 @@
+"""Tests for the CLI and the table renderer."""
+
+import pytest
+
+from repro.cli import main
+from repro.reporting import render_table
+
+
+class TestRenderTable:
+    def test_basic_shape(self):
+        text = render_table(["A", "Bee"], [(1, 2.5), ("xy", 123.0)], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert lines[1].startswith("+")
+        assert "| A " in lines[2]
+        widths = {len(line) for line in lines[1:]}
+        assert len(widths) == 1  # perfectly aligned
+
+    def test_float_formatting(self):
+        text = render_table(["x"], [(1234.5,), (12.34,), (1.234,)])
+        assert "1234" in text and "12.3" in text and "1.23" in text
+
+
+class TestCli:
+    def test_bench_lists_catalog(self, capsys):
+        assert main(["bench"]) == 0
+        out = capsys.readouterr().out
+        assert "dean-ctrl" in out and "scsi" in out
+
+    def test_map_benchmark_with_verify(self, capsys):
+        assert main(["map", "dme", "CMOS3", "--verify"]) == 0
+        out = capsys.readouterr().out
+        assert "hazard_safe=True" in out
+
+    def test_map_sync_flag(self, capsys):
+        assert main(["map", "chu-ad-opt", "CMOS3", "--sync"]) == 0
+        assert "sync mapping" in capsys.readouterr().out
+
+    def test_map_dont_cares(self, capsys):
+        assert main(["map", "dme-fast", "ACTEL", "--dont-cares"]) == 0
+        out = capsys.readouterr().out
+        assert "waived" in out
+
+    def test_map_equation_file(self, tmp_path, capsys):
+        path = tmp_path / "design.eqn"
+        path.write_text(".inputs s a b\nf = s*a + s'*b + a*b;\n")
+        assert main(["map", str(path), "CMOS3", "--verify"]) == 0
+        assert "hazard_safe=True" in capsys.readouterr().out
+
+    def test_map_writes_blif(self, tmp_path, capsys):
+        out_path = tmp_path / "mapped.blif"
+        assert main(["map", "dme", "CMOS3", "--output", str(out_path)]) == 0
+        text = out_path.read_text()
+        assert ".model" in text and ".names" in text
+
+    def test_audit_mini_path(self, capsys):
+        assert main(["audit", "CMOS3"]) == 0
+        out = capsys.readouterr().out
+        assert "MUX21" in out
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])
