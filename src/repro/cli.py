@@ -7,7 +7,12 @@ Commands mirror the paper's workflows:
 * ``map``     — map a benchmark (or an equation/BLIF file) onto a
   library with the sync or async mapper, optionally with hazard
   don't-cares, and verify the result;
-* ``bench``   — list the benchmark catalog.
+* ``bench``   — list the benchmark catalog;
+* ``cache``   — inspect or clear the on-disk annotation cache.
+
+``map`` persists library hazard annotations to a disk cache by default
+(pass ``--no-cache`` to disable, ``--cache-dir`` to relocate) and takes
+``--workers`` for parallel cone covering.
 """
 
 from __future__ import annotations
@@ -17,6 +22,7 @@ import sys
 from typing import Optional, Sequence
 
 from .burstmode.benchmarks import CATALOG, synthesize_benchmark
+from .library import anncache
 from .library.standard import ALL_LIBRARIES, load_library
 from .mapping.dontcare import synthesis_bursts
 from .mapping.mapper import MappingOptions, async_tmap, tmap
@@ -104,10 +110,14 @@ def _cmd_map(args: argparse.Namespace) -> int:
         synthesis = None
 
     library = load_library(args.library)
-    if not library.annotated:
-        library.annotate_hazards()
 
-    options = MappingOptions(max_depth=args.depth, objective=args.objective)
+    cache_dir = None if args.no_cache else (args.cache_dir or str(anncache.default_cache_root()))
+    options = MappingOptions(
+        max_depth=args.depth,
+        objective=args.objective,
+        workers=args.workers,
+        annotation_cache_dir=cache_dir,
+    )
     if args.dont_cares:
         if synthesis is None:
             print("--dont-cares requires a catalog benchmark", file=sys.stderr)
@@ -122,6 +132,27 @@ def _cmd_map(args: argparse.Namespace) -> int:
         f"cpu={result.elapsed:.2f}s"
     )
     print(f"cells: {result.cell_usage()}")
+    if result.annotation_report is not None:
+        report = result.annotation_report
+        line = (
+            f"annotation: {report.source} in {report.elapsed:.2f}s "
+            f"({report.hazardous}/{report.cells} cells hazardous)"
+        )
+        if report.warm and report.cold_elapsed is not None:
+            line += f"; cold pass was {report.cold_elapsed:.2f}s"
+        print(line)
+    stats = result.stats
+    print(
+        f"covering: {stats.cones} cones in {stats.cone_seconds:.2f}s "
+        f"({result.workers} worker{'s' if result.workers != 1 else ''})"
+    )
+    if stats.filter_invocations or stats.cache_hits or stats.cache_misses:
+        print(
+            f"hazard cache: {stats.cache_hits} hits, {stats.cache_misses} misses "
+            f"({stats.analysis_cache_hits}/{stats.analysis_cache_misses} analyses, "
+            f"{stats.subset_cache_hits}/{stats.subset_cache_misses} filter verdicts; "
+            f"{stats.filter_invocations} filter invocations)"
+        )
     if result.stats.hazardous_matches:
         print(
             f"hazard filter: {result.stats.hazardous_matches} screened, "
@@ -145,6 +176,20 @@ def _cmd_map(args: argparse.Namespace) -> int:
         with open(args.output, "w") as handle:
             write_blif(result.mapped, handle)
         print(f"mapped network written to {args.output}")
+    return 0
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    root = args.cache_dir or str(anncache.default_cache_root())
+    entries = anncache.cache_entries(root)
+    if args.clear:
+        removed = anncache.clear_annotation_cache(root)
+        print(f"cleared {removed} cached annotation payload(s) from {root}")
+        return 0
+    print(f"annotation cache at {root}: {len(entries)} entrie(s)")
+    for path in entries:
+        size = path.stat().st_size
+        print(f"  {path.name}  ({size} bytes)")
     return 0
 
 
@@ -180,7 +225,28 @@ def build_parser() -> argparse.ArgumentParser:
     )
     map_cmd.add_argument("--verify", action="store_true")
     map_cmd.add_argument("--output", help="write the mapped network as BLIF")
+    map_cmd.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="parallel cone-covering threads (0 = one per CPU)",
+    )
+    map_cmd.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="skip the on-disk library-annotation cache",
+    )
+    map_cmd.add_argument(
+        "--cache-dir", help="annotation cache location (default: ~/.cache/repro-tmap)"
+    )
     map_cmd.set_defaults(func=_cmd_map)
+
+    cache_cmd = sub.add_parser(
+        "cache", help="inspect or clear the annotation cache"
+    )
+    cache_cmd.add_argument("--clear", action="store_true", help="delete all entries")
+    cache_cmd.add_argument("--cache-dir", help="cache location to operate on")
+    cache_cmd.set_defaults(func=_cmd_cache)
     return parser
 
 

@@ -7,6 +7,14 @@ from .analyzer import (
     hazards_subset,
     static1_census,
 )
+from .cache import (
+    CacheStats,
+    HazardCache,
+    analysis_fingerprint,
+    clear_global_cache,
+    global_cache,
+    lsop_fingerprint,
+)
 from .dynamic import (
     exhibits_mic_dynamic,
     find_mic_dyn_haz_2level,
@@ -49,7 +57,9 @@ from .types import (
 )
 
 __all__ = [
+    "CacheStats",
     "HazardAnalysis",
+    "HazardCache",
     "HazardSummary",
     "MicDynamicHazard",
     "RemovalReport",
@@ -58,9 +68,13 @@ __all__ = [
     "Static1Hazard",
     "TransitionKind",
     "TransitionVerdict",
+    "analysis_fingerprint",
     "analyze_cover",
     "analyze_expression",
     "classify_transition",
+    "clear_global_cache",
+    "global_cache",
+    "lsop_fingerprint",
     "dynamic_fhf",
     "enumerate_hazards",
     "exhibits_mic_dynamic",

@@ -23,7 +23,7 @@ Two comparison modes are provided:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional, Sequence
+from typing import Callable, Optional, Sequence
 
 from ..boolean.cover import Cover
 from ..boolean.expr import Expr
@@ -31,8 +31,8 @@ from ..boolean.paths import LabeledSop, label_cover, label_expression
 from .dynamic import find_mic_dyn_haz_2level
 from .multilevel import find_mic_dyn_haz_multilevel, transition_has_hazard
 from .oracle import TransitionVerdict, all_transitions, classify_transition
-from .sic import exhibits_sic_dynamic, find_sic_dynamic_hazards
-from .static0 import exhibits_static0, find_static0_hazards
+from .sic import find_sic_dynamic_hazards
+from .static0 import find_static0_hazards
 from .static1 import find_static1_hazards, find_static1_hazards_complete
 from .types import (
     HazardSummary,
@@ -67,6 +67,10 @@ class HazardAnalysis:
     mic_dynamic: list[MicDynamicHazard] = field(default_factory=list)
     sic_dynamic: list[SicDynamicHazard] = field(default_factory=list)
     verdicts: Optional[list[TransitionVerdict]] = None
+    #: Canonical structural key, filled in lazily by the hazard cache.
+    fingerprint: Optional[tuple] = field(
+        default=None, repr=False, compare=False
+    )
 
     @property
     def has_hazards(self) -> bool:
@@ -186,17 +190,25 @@ def _map_point(point: int, mapping: Sequence[int], old_nvars: int) -> int:
     return result
 
 
+#: Signature of the pluggable event-lattice replay used by the filter.
+TransitionCheck = Callable[[LabeledSop, int, int], bool]
+
+
 def hazards_subset(
     cell: HazardAnalysis,
     target: HazardAnalysis,
     mapping: Optional[Sequence[int]] = None,
     mode: str = "exact",
+    transition_check: TransitionCheck = transition_has_hazard,
 ) -> bool:
     """Section 3.2.2 filter: ``hazards(cell) ⊆ hazards(target)``?
 
     ``mapping`` renames cell variable ``i`` to target variable
     ``mapping[i]`` (the Boolean match's pin binding); identity when
     omitted.  See the module docstring for the two modes.
+    ``transition_check`` lets callers (the hazard cache) substitute a
+    memoized event-lattice replay; it must be extensionally equal to
+    :func:`repro.hazards.multilevel.transition_has_hazard`.
     """
     if mapping is None:
         mapping = list(range(cell.nvars))
@@ -207,15 +219,37 @@ def hazards_subset(
             for verdict in verdicts:
                 start = _map_point(verdict.start, mapping, cell.nvars)
                 end = _map_point(verdict.end, mapping, cell.nvars)
-                if not transition_has_hazard(target.lsop, start, end):
+                if not transition_check(target.lsop, start, end):
                     return False
             return True
         # Too large to enumerate — fall through to the record filter.
-    return _paper_filter(cell, target, mapping)
+    return _paper_filter(cell, target, mapping, transition_check)
+
+
+def _condition_exhibited(records, var: int, condition: Cover, nvars: int) -> bool:
+    """Is ``condition`` covered by the union of the targets' confirmed
+    pulse conditions for ``var``?
+
+    The records are the target's own ``static0`` / ``sic_dynamic``
+    lists, already computed at analysis time — re-deriving them per
+    match (as ``exhibits_static0`` does for standalone use) would redo
+    the candidate extraction and lattice confirmation on every filter
+    call.
+    """
+    pulses = [h.condition for h in records if h.var == var]
+    if not pulses:
+        return False
+    union = Cover.empty(nvars)
+    for cover in pulses:
+        union = union.union(cover)
+    return union.contains_cover(condition)
 
 
 def _paper_filter(
-    cell: HazardAnalysis, target: HazardAnalysis, mapping: list[int]
+    cell: HazardAnalysis,
+    target: HazardAnalysis,
+    mapping: list[int],
+    transition_check: TransitionCheck = transition_has_hazard,
 ) -> bool:
     """The record-list filter, per hazard class (paper section 3.2.2)."""
     nvars = target.nvars
@@ -230,15 +264,19 @@ def _paper_filter(
 
     for s0 in cell.static0:
         mapped = s0.remap(mapping, nvars)
-        if not exhibits_static0(target.lsop, mapped.var, mapped.condition):
+        if not _condition_exhibited(
+            target.static0, mapped.var, mapped.condition, nvars
+        ):
             return False
     for sic in cell.sic_dynamic:
         mapped = sic.remap(mapping, nvars)
-        if not exhibits_sic_dynamic(target.lsop, mapped.var, mapped.condition):
+        if not _condition_exhibited(
+            target.sic_dynamic, mapped.var, mapped.condition, nvars
+        ):
             return False
     for dyn in cell.mic_dynamic:
         mapped = dyn.remap(mapping, nvars)
-        if not transition_has_hazard(target.lsop, mapped.start, mapped.end):
+        if not transition_check(target.lsop, mapped.start, mapped.end):
             return False
     return True
 

@@ -1,0 +1,243 @@
+"""Memoized hazard analysis — the warm path of the async mapper.
+
+The paper pays its hazard cost in two hot loops: library annotation at
+load time (Table 2) and the per-match ``hazards_subset`` filter inside
+covering (section 3.2.2).  Both recompute pure functions of small
+structures, so a :class:`HazardCache` keyed by canonical forms turns the
+second and every later evaluation into a dictionary hit:
+
+* **analyses** — ``analyze_expression`` / ``analyze_cover`` results,
+  keyed by the expression (hashable) or the cube list, plus the variable
+  ordering;
+* **subset verdicts** — ``hazards_subset`` results, keyed by the
+  structural fingerprints of both implementations, the pin binding, and
+  the mode;
+* **transition replays** — ``transition_has_hazard`` event-lattice
+  decisions, keyed by the target fingerprint and the transition
+  endpoints, so distinct cells screened against the same subnetwork
+  share replays.
+
+Fingerprints lead with an NPN-style bucket (the output-polarity-folded
+permutation-invariant signature of :func:`repro.boolean.truthtable
+.np_signature`) followed by the exact path-labelled structure.  Hazard
+behaviour is a property of the *implementation*, not the function, so
+the structural part is what guarantees soundness; the signature keeps
+buckets of related functions apart cheaply.
+
+A process-wide cache (:func:`global_cache`) backs the mapper; it is
+thread-safe, so parallel cone covering shares one warm store.  All
+methods return ``(value, hit)`` pairs so callers can surface hit/miss
+counters (``CoverStats``, the CLI summary).
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from ..boolean import truthtable as tt
+from ..boolean.cover import Cover
+from ..boolean.expr import Expr
+from ..boolean.paths import LabeledSop
+from .analyzer import HazardAnalysis, analyze_cover, analyze_expression, hazards_subset
+from .multilevel import transition_has_hazard
+
+#: Skip the truth-table signature above this input count (the structural
+#: fingerprint alone still keys correctly; the bucket is an accelerator).
+SIGNATURE_MAX_VARS = 12
+
+
+def lsop_fingerprint(lsop: LabeledSop) -> tuple:
+    """Canonical key of a path-labelled implementation.
+
+    Two implementations with equal fingerprints have identical hazard
+    behaviour: the labelled product structure determines every section-4
+    record list and every event-lattice replay.
+    """
+    if lsop.nvars <= SIGNATURE_MAX_VARS:
+        bucket = tt.np_signature(lsop.plain_cover().truth_table(), lsop.nvars)
+    else:
+        bucket = None
+    structure = tuple(
+        tuple((lit.name, lit.path, lit.positive) for lit in product.literals)
+        for product in lsop.products
+    )
+    return (tuple(lsop.names), bucket, structure)
+
+
+def analysis_fingerprint(analysis: HazardAnalysis) -> tuple:
+    """Fingerprint of an analysis, computed once and stored on it."""
+    if analysis.fingerprint is None:
+        analysis.fingerprint = lsop_fingerprint(analysis.lsop)
+    return analysis.fingerprint
+
+
+@dataclass
+class CacheStats:
+    """Aggregate hit/miss counters of one :class:`HazardCache`."""
+
+    analysis_hits: int = 0
+    analysis_misses: int = 0
+    subset_hits: int = 0
+    subset_misses: int = 0
+    transition_hits: int = 0
+    transition_misses: int = 0
+
+    @property
+    def total_hits(self) -> int:
+        return self.analysis_hits + self.subset_hits + self.transition_hits
+
+    @property
+    def total_misses(self) -> int:
+        return self.analysis_misses + self.subset_misses + self.transition_misses
+
+
+class HazardCache:
+    """Thread-safe memo store for hazard analyses and filter verdicts."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._analyses: dict[tuple, HazardAnalysis] = {}
+        self._subsets: dict[tuple, bool] = {}
+        self._transitions: dict[tuple, bool] = {}
+        self.stats = CacheStats()
+
+    # ------------------------------------------------------------------
+    # Analyses
+    # ------------------------------------------------------------------
+    def expression_analysis(
+        self,
+        expr: Expr,
+        names: Optional[Sequence[str]] = None,
+        exhaustive: bool = False,
+    ) -> tuple[HazardAnalysis, bool]:
+        """Memoized :func:`repro.hazards.analyzer.analyze_expression`."""
+        key = ("expr", expr, tuple(names) if names is not None else None)
+        return self._analysis(
+            key, lambda: analyze_expression(expr, names), exhaustive
+        )
+
+    def cover_analysis(
+        self,
+        cover: Cover,
+        names: Optional[Sequence[str]] = None,
+        exhaustive: bool = False,
+    ) -> tuple[HazardAnalysis, bool]:
+        """Memoized :func:`repro.hazards.analyzer.analyze_cover`."""
+        key = (
+            "cover",
+            cover.nvars,
+            tuple((c.used, c.phase) for c in cover.cubes),
+            tuple(names) if names is not None else None,
+        )
+        return self._analysis(key, lambda: analyze_cover(cover, names), exhaustive)
+
+    def _analysis(self, key, compute, exhaustive) -> tuple[HazardAnalysis, bool]:
+        with self._lock:
+            cached = self._analyses.get(key)
+        if cached is not None:
+            with self._lock:
+                self.stats.analysis_hits += 1
+            if exhaustive:
+                cached.ensure_verdicts()
+            return cached, True
+        analysis = compute()
+        if exhaustive:
+            analysis.ensure_verdicts()
+        analysis_fingerprint(analysis)
+        with self._lock:
+            self.stats.analysis_misses += 1
+            # First writer wins, so every caller shares one object.
+            analysis = self._analyses.setdefault(key, analysis)
+        return analysis, False
+
+    # ------------------------------------------------------------------
+    # Transition replays
+    # ------------------------------------------------------------------
+    def transition_has_hazard(
+        self,
+        lsop: LabeledSop,
+        start: int,
+        end: int,
+        fingerprint: Optional[tuple] = None,
+    ) -> bool:
+        """Memoized event-lattice replay on one implementation."""
+        if fingerprint is None:
+            fingerprint = lsop_fingerprint(lsop)
+        key = (fingerprint, start, end)
+        with self._lock:
+            if key in self._transitions:
+                self.stats.transition_hits += 1
+                return self._transitions[key]
+        value = transition_has_hazard(lsop, start, end)
+        with self._lock:
+            self.stats.transition_misses += 1
+            self._transitions[key] = value
+        return value
+
+    # ------------------------------------------------------------------
+    # Matching-filter verdicts
+    # ------------------------------------------------------------------
+    def hazards_subset(
+        self,
+        cell: HazardAnalysis,
+        target: HazardAnalysis,
+        mapping: Optional[Sequence[int]] = None,
+        mode: str = "exact",
+    ) -> tuple[bool, bool]:
+        """Memoized section-3.2.2 filter; replays go through the
+        transition memo so they are shared across cells."""
+        cell_key = analysis_fingerprint(cell)
+        target_key = analysis_fingerprint(target)
+        mapping_key = tuple(mapping) if mapping is not None else None
+        key = (cell_key, target_key, mapping_key, mode)
+        with self._lock:
+            if key in self._subsets:
+                self.stats.subset_hits += 1
+                return self._subsets[key], True
+
+        def check(lsop: LabeledSop, start: int, end: int) -> bool:
+            # ``hazards_subset`` only ever replays on the target's lsop.
+            fp = target_key if lsop is target.lsop else None
+            return self.transition_has_hazard(lsop, start, end, fingerprint=fp)
+
+        value = hazards_subset(
+            cell, target, mapping=mapping, mode=mode, transition_check=check
+        )
+        with self._lock:
+            self.stats.subset_misses += 1
+            self._subsets[key] = value
+        return value, False
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def clear(self) -> None:
+        with self._lock:
+            self._analyses.clear()
+            self._subsets.clear()
+            self._transitions.clear()
+            self.stats = CacheStats()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._analyses) + len(self._subsets) + len(self._transitions)
+
+    def __repr__(self) -> str:
+        return (
+            f"HazardCache(analyses={len(self._analyses)}, "
+            f"subsets={len(self._subsets)}, transitions={len(self._transitions)})"
+        )
+
+
+_GLOBAL = HazardCache()
+
+
+def global_cache() -> HazardCache:
+    """The process-wide cache shared by every mapping run."""
+    return _GLOBAL
+
+
+def clear_global_cache() -> None:
+    _GLOBAL.clear()

@@ -1,5 +1,11 @@
 """Cell libraries: cells, annotation, and the four synthetic libraries."""
 
+from .anncache import (
+    clear_annotation_cache,
+    default_cache_root,
+    library_fingerprint,
+    resolve_cache_dir,
+)
 from .cell import LibraryCell
 from .library import AnnotationReport, Library
 from .standard import (
@@ -18,9 +24,13 @@ __all__ = [
     "Library",
     "LibraryCell",
     "actel_act1",
+    "clear_annotation_cache",
     "cmos3",
+    "default_cache_root",
     "gdt",
+    "library_fingerprint",
     "load_library",
     "lsi9k",
     "minimal_teaching_library",
+    "resolve_cache_dir",
 ]

@@ -1,0 +1,199 @@
+"""Persistent on-disk cache of library hazard annotations.
+
+Table 2 measures the one-time cost of ``augment-library-with-hazard-
+info``; in a service-style session that maps many circuits against the
+same libraries the cost should be paid once per *library version*, not
+once per process.  This module stores each library's per-cell
+:class:`~repro.hazards.analyzer.HazardAnalysis` objects in a
+version-stamped cache directory and replays them on the next load.
+
+Layout::
+
+    <cache root>/annotations/v<CACHE_VERSION>/<lib>-<x|r>-<fingerprint>.pkl
+
+The fingerprint is a SHA-256 over the cache version, the package
+version, and every cell's (name, BFF text, pin order, area, delay), so
+any change to the library or to the analysis code's on-disk contract
+misses cleanly.  Payloads carry the fingerprint again and are validated
+on read; corrupt, truncated, or stale files are removed and silently
+rebuilt — the cache can never change results, only timing.
+
+Enabling the cache:
+
+* pass ``cache_dir`` to :meth:`repro.library.library.Library.annotate_hazards`;
+* or set ``REPRO_ANNOTATION_CACHE`` (``1``/``on`` for the default
+  location, any other value is taken as a directory path);
+* the CLI enables it by default (``--no-cache`` / ``--cache-dir``).
+
+The default root honours ``REPRO_CACHE_DIR``, then ``XDG_CACHE_HOME``,
+then ``~/.cache/repro-tmap``.  ``repro cache --clear`` (or
+:func:`clear_annotation_cache`) empties it.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import TYPE_CHECKING, Optional, Union
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..hazards.analyzer import HazardAnalysis
+    from .library import Library
+
+#: Bump when the pickled payload layout or the analysis semantics change.
+CACHE_VERSION = 1
+
+_ENV_TOGGLE = "REPRO_ANNOTATION_CACHE"
+_ENV_ROOT = "REPRO_CACHE_DIR"
+
+CacheDir = Union[str, os.PathLike, None]
+
+
+def default_cache_root() -> Path:
+    """The cache root: ``$REPRO_CACHE_DIR`` > XDG > ``~/.cache/repro-tmap``."""
+    root = os.environ.get(_ENV_ROOT)
+    if root:
+        return Path(root)
+    xdg = os.environ.get("XDG_CACHE_HOME")
+    base = Path(xdg) if xdg else Path.home() / ".cache"
+    return base / "repro-tmap"
+
+
+def resolve_cache_dir(cache_dir: CacheDir = None) -> Optional[Path]:
+    """Resolve a caller-supplied cache location to a directory or None.
+
+    ``None`` consults ``REPRO_ANNOTATION_CACHE``: unset/falsy disables
+    the cache (keeping library loads hermetic by default); ``1``/``on``/
+    ``yes``/``auto`` selects the default root; anything else is a path.
+    """
+    if cache_dir is not None:
+        return Path(cache_dir)
+    toggle = os.environ.get(_ENV_TOGGLE, "").strip()
+    if not toggle or toggle.lower() in ("0", "off", "no", "false"):
+        return None
+    if toggle.lower() in ("1", "on", "yes", "true", "auto"):
+        return default_cache_root()
+    return Path(toggle)
+
+
+def library_fingerprint(library: "Library") -> str:
+    """Content hash of everything the annotation result depends on."""
+    from .. import __version__
+
+    hasher = hashlib.sha256()
+    hasher.update(f"v{CACHE_VERSION}|{__version__}|{library.name}".encode())
+    for cell in library.cells:
+        hasher.update(
+            f"|{cell.name}|{cell.expression.to_string()}"
+            f"|{','.join(cell.pins)}|{cell.area}|{cell.delay}".encode()
+        )
+    return hasher.hexdigest()
+
+
+def annotation_path(
+    library: "Library", exhaustive: bool, cache_dir: Path
+) -> Path:
+    """The payload file for one (library, exhaustive) pair."""
+    fingerprint = library_fingerprint(library)
+    flavour = "x" if exhaustive else "r"
+    return (
+        Path(cache_dir)
+        / "annotations"
+        / f"v{CACHE_VERSION}"
+        / f"{library.name}-{flavour}-{fingerprint[:16]}.pkl"
+    )
+
+
+@dataclass
+class AnnotationPayload:
+    """What one cache file holds."""
+
+    fingerprint: str
+    library: str
+    exhaustive: bool
+    cold_elapsed: float
+    analyses: dict[str, "HazardAnalysis"]
+    created: float
+
+
+def load_annotations(
+    library: "Library", exhaustive: bool, cache_dir: Path
+) -> Optional[AnnotationPayload]:
+    """Read and validate a payload; corrupt or stale files are removed.
+
+    Returns ``None`` on any miss — the caller rebuilds and re-stores, so
+    a damaged cache silently repairs itself.
+    """
+    path = annotation_path(library, exhaustive, cache_dir)
+    if not path.exists():
+        return None
+    try:
+        with open(path, "rb") as handle:
+            payload = pickle.load(handle)
+        if not isinstance(payload, AnnotationPayload):
+            raise ValueError("unexpected payload type")
+        if payload.fingerprint != library_fingerprint(library):
+            raise ValueError("stale fingerprint")
+        if payload.exhaustive != exhaustive:
+            raise ValueError("annotation flavour mismatch")
+        missing = {c.name for c in library.cells} - set(payload.analyses)
+        if missing:
+            raise ValueError(f"cells missing from payload: {sorted(missing)}")
+    except Exception:
+        # Corrupt/stale/truncated: drop the file and fall back to cold.
+        try:
+            path.unlink()
+        except OSError:
+            pass
+        return None
+    return payload
+
+
+def store_annotations(
+    library: "Library", exhaustive: bool, cold_elapsed: float, cache_dir: Path
+) -> Path:
+    """Persist the library's current annotations (atomic replace)."""
+    path = annotation_path(library, exhaustive, cache_dir)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    payload = AnnotationPayload(
+        fingerprint=library_fingerprint(library),
+        library=library.name,
+        exhaustive=exhaustive,
+        cold_elapsed=cold_elapsed,
+        analyses={
+            cell.name: cell.analysis
+            for cell in library.cells
+            if cell.analysis is not None
+        },
+        created=time.time(),
+    )
+    tmp = path.with_suffix(f".tmp-{os.getpid()}")
+    with open(tmp, "wb") as handle:
+        pickle.dump(payload, handle, protocol=pickle.HIGHEST_PROTOCOL)
+    os.replace(tmp, path)
+    return path
+
+
+def cache_entries(cache_dir: CacheDir = None) -> list[Path]:
+    """Every payload file under the (resolved or default) cache root."""
+    root = resolve_cache_dir(cache_dir) or default_cache_root()
+    base = Path(root) / "annotations"
+    if not base.exists():
+        return []
+    return sorted(base.glob("v*/*.pkl"))
+
+
+def clear_annotation_cache(cache_dir: CacheDir = None) -> int:
+    """Delete all cached annotation payloads; returns the removal count."""
+    removed = 0
+    for path in cache_entries(cache_dir):
+        try:
+            path.unlink()
+            removed += 1
+        except OSError:
+            pass
+    return removed

@@ -14,7 +14,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional
 
-from ..hazards.analyzer import HazardAnalysis, analyze_expression, hazards_subset
+from ..hazards.analyzer import HazardAnalysis
+from ..hazards.cache import HazardCache, global_cache
 from ..library.library import Library
 from ..network.netlist import Netlist
 from ..network.partition import Cone
@@ -28,7 +29,14 @@ class MappingError(Exception):
 
 @dataclass
 class CoverStats:
-    """Bookkeeping for the runtime analysis of Tables 2 and 4."""
+    """Bookkeeping for the runtime analysis of Tables 2 and 4.
+
+    Beyond match/filter counts this carries the performance-layer
+    telemetry: hazard-cache hit/miss counters (cluster analyses and
+    filter verdicts), total filter invocations, and per-cone wall time
+    (``cones`` / ``cone_seconds``; ``cone_seconds`` sums per-cone work,
+    so with parallel covering it exceeds wall-clock).
+    """
 
     clusters: int = 0
     matches: int = 0
@@ -36,6 +44,13 @@ class CoverStats:
     hazard_rejections: int = 0
     hazard_accepts: int = 0
     dc_waivers: int = 0
+    filter_invocations: int = 0
+    analysis_cache_hits: int = 0
+    analysis_cache_misses: int = 0
+    subset_cache_hits: int = 0
+    subset_cache_misses: int = 0
+    cones: int = 0
+    cone_seconds: float = 0.0
 
     def merge(self, other: "CoverStats") -> None:
         self.clusters += other.clusters
@@ -44,6 +59,21 @@ class CoverStats:
         self.hazard_rejections += other.hazard_rejections
         self.hazard_accepts += other.hazard_accepts
         self.dc_waivers += other.dc_waivers
+        self.filter_invocations += other.filter_invocations
+        self.analysis_cache_hits += other.analysis_cache_hits
+        self.analysis_cache_misses += other.analysis_cache_misses
+        self.subset_cache_hits += other.subset_cache_hits
+        self.subset_cache_misses += other.subset_cache_misses
+        self.cones += other.cones
+        self.cone_seconds += other.cone_seconds
+
+    @property
+    def cache_hits(self) -> int:
+        return self.analysis_cache_hits + self.subset_cache_hits
+
+    @property
+    def cache_misses(self) -> int:
+        return self.analysis_cache_misses + self.subset_cache_misses
 
 
 @dataclass
@@ -78,6 +108,7 @@ def cover_cone(
     filter_mode: str = "exact",
     stats: Optional[CoverStats] = None,
     dont_cares=None,
+    cache: Optional[HazardCache] = None,
 ) -> ConeCover:
     """Find the best hazard-aware cover of one cone.
 
@@ -88,18 +119,26 @@ def cover_cone(
     (a :class:`repro.mapping.dontcare.HazardDontCares`) is supplied, a
     rejected hazardous cell gets a second chance: hazards no specified
     burst can excite are waived (paper section 6's extension).
+
+    Cluster analyses and filter verdicts go through ``cache`` (the
+    process-wide :func:`repro.hazards.cache.global_cache` by default) so
+    repeated structures — within a cone, across cones, and across whole
+    mapping runs — hit warm results; hits/misses land in ``stats``.
     """
     if stats is None:
         stats = CoverStats()
+    if cache is None:
+        cache = global_cache()
     clusters = enumerate_clusters(netlist, cone, max_depth, max_inputs)
-    cluster_analyses: dict[tuple[str, tuple[str, ...]], HazardAnalysis] = {}
 
     def cluster_analysis(cluster: Cluster) -> HazardAnalysis:
-        key = (cluster.root, cluster.leaves)
-        if key not in cluster_analyses:
-            expr = cluster_expression(netlist, cluster)
-            cluster_analyses[key] = analyze_expression(expr, cluster.leaves)
-        return cluster_analyses[key]
+        expr = cluster_expression(netlist, cluster)
+        analysis, hit = cache.expression_analysis(expr, cluster.leaves)
+        if hit:
+            stats.analysis_cache_hits += 1
+        else:
+            stats.analysis_cache_misses += 1
+        return analysis
 
     best: dict[str, tuple[float, Optional[Selection]]] = {
         leaf: (0.0, None) for leaf in cone.leaves
@@ -121,15 +160,20 @@ def cover_cone(
                     stats.hazardous_matches += 1
                     analysis = cluster_analysis(cluster)
                     assert match.cell.analysis is not None
-                    accepted = hazards_subset(
+                    stats.filter_invocations += 1
+                    accepted, hit = cache.hazards_subset(
                         match.cell.analysis,
                         analysis,
                         mapping=list(match.binding),
                         mode=filter_mode,
                     )
+                    if hit:
+                        stats.subset_cache_hits += 1
+                    else:
+                        stats.subset_cache_misses += 1
                     if not accepted and dont_cares is not None:
                         accepted = _accept_with_dont_cares(
-                            dont_cares, match, cluster, analysis, stats
+                            dont_cares, match, cluster, analysis, stats, cache
                         )
                     if not accepted:
                         stats.hazard_rejections += 1
@@ -174,7 +218,9 @@ def cover_cone(
     return cover
 
 
-def _accept_with_dont_cares(dont_cares, match, cluster, analysis, stats) -> bool:
+def _accept_with_dont_cares(
+    dont_cares, match, cluster, analysis, stats, cache: Optional[HazardCache] = None
+) -> bool:
     """Second-chance screening under hazard don't-cares (section 6).
 
     The cell's exhaustive hazardous-transition list is filtered down to
@@ -182,9 +228,10 @@ def _accept_with_dont_cares(dont_cares, match, cluster, analysis, stats) -> bool
     still be matched by the subnetwork.  Cells too large for exhaustive
     verdicts are not eligible (no sound waiver basis).
     """
-    from ..hazards.multilevel import transition_has_hazard
     from .dontcare import waive_irrelevant_hazards
 
+    if cache is None:
+        cache = global_cache()
     assert match.cell.analysis is not None
     verdicts = match.cell.analysis.ensure_verdicts()
     if verdicts is None:
@@ -199,7 +246,7 @@ def _accept_with_dont_cares(dont_cares, match, cluster, analysis, stats) -> bool
     if waived == 0:
         return False  # nothing waived: the plain filter already said no
     for start, end in relevant:
-        if not transition_has_hazard(analysis.lsop, start, end):
+        if not cache.transition_has_hazard(analysis.lsop, start, end):
             return False
     stats.dc_waivers += waived
     return True

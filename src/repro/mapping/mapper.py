@@ -22,14 +22,16 @@ filter inside covering.
 
 from __future__ import annotations
 
+import os
 import time
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Optional
 
-from ..library.library import Library
+from ..library.library import AnnotationReport, Library
 from ..network.decompose import async_tech_decomp, tech_decomp
 from ..network.netlist import Netlist
-from ..network.partition import partition
+from ..network.partition import Cone, partition
 from .cover import ConeCover, CoverStats, cover_cone
 
 
@@ -41,6 +43,16 @@ class MappingOptions:
     :class:`repro.mapping.dontcare.InputBurst`) switches on the
     hazard-don't-care extension of section 6: hazards no specified
     burst can excite are waived during matching.
+
+    ``workers`` controls parallel cone covering: ``1`` (default) covers
+    cones serially, ``0`` auto-sizes to the CPU count, and any other
+    value is a thread-pool width.  Results are deterministic regardless
+    of worker count — cones are independent given the shared hazard
+    cache, and results are merged in cone order.
+
+    ``annotation_cache_dir`` is forwarded to
+    :meth:`repro.library.library.Library.annotate_hazards` so the
+    one-time Table-2 annotation cost can be replayed from disk.
     """
 
     max_depth: int = 5
@@ -49,6 +61,13 @@ class MappingOptions:
     filter_mode: str = "exact"
     exhaustive_annotation: bool = True
     input_bursts: Optional[list] = None
+    workers: int = 1
+    annotation_cache_dir: Optional[str] = None
+
+    def resolved_workers(self) -> int:
+        if self.workers == 0:
+            return os.cpu_count() or 1
+        return max(1, self.workers)
 
 
 @dataclass
@@ -65,6 +84,8 @@ class MappingResult:
     annotate_elapsed: float = 0.0
     stats: CoverStats = field(default_factory=CoverStats)
     covers: list[ConeCover] = field(default_factory=list)
+    annotation_report: Optional[AnnotationReport] = None
+    workers: int = 1
 
     def cell_usage(self) -> dict[str, int]:
         return self.mapped.cell_usage()
@@ -112,15 +133,20 @@ def async_tmap(
     options = options or MappingOptions()
     start = time.perf_counter()
     annotate_elapsed = 0.0
+    annotation_report = None
     if not library.annotated:
-        report = library.annotate_hazards(exhaustive=options.exhaustive_annotation)
-        annotate_elapsed = report.elapsed
+        annotation_report = library.annotate_hazards(
+            exhaustive=options.exhaustive_annotation,
+            cache_dir=options.annotation_cache_dir,
+        )
+        annotate_elapsed = annotation_report.elapsed
     decomposed = async_tech_decomp(network)
     result = _map_decomposed(
         network, decomposed, library, options, hazard_filter=True, mode="async"
     )
     result.elapsed = time.perf_counter() - start
     result.annotate_elapsed = annotate_elapsed
+    result.annotation_report = annotation_report
     return result
 
 
@@ -133,30 +159,51 @@ def _map_decomposed(
     mode: str,
 ) -> MappingResult:
     if hazard_filter and not library.annotated:
-        library.annotate_hazards(exhaustive=options.exhaustive_annotation)
+        library.annotate_hazards(
+            exhaustive=options.exhaustive_annotation,
+            cache_dir=options.annotation_cache_dir,
+        )
     dont_cares = None
     if hazard_filter and options.input_bursts:
         from .dontcare import HazardDontCares
 
         dont_cares = HazardDontCares(decomposed, options.input_bursts)
     cones = partition(decomposed)
+    workers = options.resolved_workers()
+
+    def cover_one(cone: Cone) -> tuple[ConeCover, CoverStats]:
+        cone_stats = CoverStats()
+        cone_start = time.perf_counter()
+        cover = cover_cone(
+            decomposed,
+            cone,
+            library,
+            max_depth=options.max_depth,
+            max_inputs=options.max_inputs,
+            objective=options.objective,
+            hazard_filter=hazard_filter,
+            filter_mode=options.filter_mode,
+            stats=cone_stats,
+            dont_cares=dont_cares,
+        )
+        cone_stats.cones = 1
+        cone_stats.cone_seconds = time.perf_counter() - cone_start
+        return cover, cone_stats
+
+    if workers > 1 and len(cones) > 1:
+        # Cones are independent and the hazard cache is thread-safe;
+        # pool.map preserves cone order, so the merged result is
+        # identical to the serial one.
+        with ThreadPoolExecutor(max_workers=workers) as pool:
+            outcomes = list(pool.map(cover_one, cones))
+    else:
+        outcomes = [cover_one(cone) for cone in cones]
+
     stats = CoverStats()
     covers: list[ConeCover] = []
-    for cone in cones:
-        covers.append(
-            cover_cone(
-                decomposed,
-                cone,
-                library,
-                max_depth=options.max_depth,
-                max_inputs=options.max_inputs,
-                objective=options.objective,
-                hazard_filter=hazard_filter,
-                filter_mode=options.filter_mode,
-                stats=stats,
-                dont_cares=dont_cares,
-            )
-        )
+    for cover, cone_stats in outcomes:
+        covers.append(cover)
+        stats.merge(cone_stats)
 
     mapped = _build_mapped_netlist(source, decomposed, covers)
     result = MappingResult(
@@ -169,6 +216,7 @@ def _map_decomposed(
         elapsed=0.0,
         stats=stats,
         covers=covers,
+        workers=workers,
     )
     return result
 

@@ -1,0 +1,288 @@
+"""Cache-consistency tests: warm results must equal cold results.
+
+Covers all three warm paths of the performance layer —
+
+* the in-process :class:`repro.hazards.cache.HazardCache` memo,
+* the on-disk library-annotation cache
+  (:mod:`repro.library.anncache`),
+* full mapping runs replayed against both,
+
+plus the failure modes: corrupt and stale cache files must be detected
+and silently rebuilt, never trusted.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.boolean.cover import Cover
+from repro.boolean.expr import parse
+from repro.hazards.analyzer import analyze_cover, analyze_expression, hazards_subset
+from repro.hazards.cache import (
+    HazardCache,
+    analysis_fingerprint,
+    clear_global_cache,
+    global_cache,
+    lsop_fingerprint,
+)
+from repro.library import anncache
+from repro.library.standard import cmos3, minimal_teaching_library
+from repro.mapping.mapper import MappingOptions, async_tmap
+from repro.network.netlist import Netlist
+
+MUX = {"f": "s*a + s'*b"}
+NAMES = ["s", "a", "b"]
+
+
+def fresh_teaching_library():
+    return minimal_teaching_library.__wrapped__()
+
+
+def summaries_equal(a, b) -> bool:
+    return (
+        a.summary() == b.summary()
+        and a.static1 == b.static1
+        and a.static0 == b.static0
+        and a.mic_dynamic == b.mic_dynamic
+        and a.sic_dynamic == b.sic_dynamic
+    )
+
+
+class TestMemoizedAnalyses:
+    def test_expression_analysis_hit_is_same_object(self):
+        cache = HazardCache()
+        expr = parse("s*a + s'*b")
+        first, hit1 = cache.expression_analysis(expr, NAMES)
+        second, hit2 = cache.expression_analysis(expr, NAMES)
+        assert not hit1 and hit2
+        assert second is first
+        assert summaries_equal(first, analyze_expression(expr, NAMES))
+
+    def test_cover_analysis_matches_cold(self):
+        cache = HazardCache()
+        cover = Cover.from_strings(["sa", "s'b"], NAMES)
+        warm, hit = cache.cover_analysis(cover, NAMES)
+        assert not hit
+        assert summaries_equal(warm, analyze_cover(cover, NAMES))
+        again, hit = cache.cover_analysis(
+            Cover.from_strings(["sa", "s'b"], NAMES), NAMES
+        )
+        assert hit and again is warm
+
+    def test_distinct_structures_do_not_collide(self):
+        # Same function, different implementation: the two-cube mux and
+        # the consensus-bearing mux have different hazard behaviour and
+        # must occupy different cache slots.
+        cache = HazardCache()
+        plain, _ = cache.cover_analysis(
+            Cover.from_strings(["sa", "s'b"], NAMES), NAMES
+        )
+        full, hit = cache.cover_analysis(
+            Cover.from_strings(["sa", "s'b", "ab"], NAMES), NAMES
+        )
+        assert not hit
+        assert plain.static1 and not full.static1
+
+    def test_fingerprint_distinguishes_structure_not_function(self):
+        plain = analyze_cover(Cover.from_strings(["sa", "s'b"], NAMES), NAMES)
+        full = analyze_cover(
+            Cover.from_strings(["sa", "s'b", "ab"], NAMES), NAMES
+        )
+        assert lsop_fingerprint(plain.lsop) != lsop_fingerprint(full.lsop)
+        # same np-signature bucket (same function), different structure
+        assert lsop_fingerprint(plain.lsop)[1] == lsop_fingerprint(full.lsop)[1]
+        assert analysis_fingerprint(plain) == lsop_fingerprint(plain.lsop)
+
+    def test_subset_verdicts_match_cold(self):
+        cache = HazardCache()
+        cell = analyze_cover(Cover.from_strings(["sa", "s'b"], NAMES), NAMES)
+        cell.ensure_verdicts()
+        target = analyze_expression(parse("s*a + s'*b"), NAMES)
+        for mode in ("exact", "paper"):
+            cold = hazards_subset(cell, target, mapping=[0, 1, 2], mode=mode)
+            warm, hit1 = cache.hazards_subset(
+                cell, target, mapping=[0, 1, 2], mode=mode
+            )
+            again, hit2 = cache.hazards_subset(
+                cell, target, mapping=[0, 1, 2], mode=mode
+            )
+            assert warm == cold == again
+            assert not hit1 and hit2
+
+    def test_transition_memo_matches_cold(self):
+        from repro.hazards.multilevel import transition_has_hazard
+
+        cache = HazardCache()
+        lsop = analyze_cover(
+            Cover.from_strings(["sa", "s'b"], NAMES), NAMES
+        ).lsop
+        for start in range(8):
+            for end in range(8):
+                if start == end:
+                    continue
+                assert cache.transition_has_hazard(
+                    lsop, start, end
+                ) == transition_has_hazard(lsop, start, end)
+
+    def test_clear_resets(self):
+        cache = HazardCache()
+        cache.expression_analysis(parse("a*b"), ["a", "b"])
+        assert len(cache) > 0
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.stats.total_hits == 0 and cache.stats.total_misses == 0
+
+    def test_global_cache_is_shared_and_clearable(self):
+        clear_global_cache()
+        assert len(global_cache()) == 0
+        global_cache().expression_analysis(parse("a+b"), ["a", "b"])
+        assert len(global_cache()) == 1
+        clear_global_cache()
+        assert len(global_cache()) == 0
+
+
+class TestDiskAnnotationCache:
+    def test_cold_then_disk_round_trip(self, tmp_path):
+        cold_lib = cmos3.__wrapped__()
+        cold = cold_lib.annotate_hazards(exhaustive=True, cache_dir=tmp_path)
+        assert cold.source == "cold" and not cold.warm
+
+        warm_lib = cmos3.__wrapped__()
+        warm = warm_lib.annotate_hazards(exhaustive=True, cache_dir=tmp_path)
+        assert warm.source == "disk" and warm.warm
+        assert warm.cells == cold.cells and warm.hazardous == cold.hazardous
+
+        for cold_cell, warm_cell in zip(cold_lib.cells, warm_lib.cells):
+            assert cold_cell.name == warm_cell.name
+            assert summaries_equal(cold_cell.analysis, warm_cell.analysis)
+            assert (cold_cell.analysis.verdicts is None) == (
+                warm_cell.analysis.verdicts is None
+            )
+            if cold_cell.analysis.verdicts is not None:
+                assert cold_cell.analysis.verdicts == warm_cell.analysis.verdicts
+
+    def test_memory_short_circuit(self, tmp_path):
+        library = cmos3.__wrapped__()
+        library.annotate_hazards(exhaustive=True, cache_dir=tmp_path)
+        again = library.annotate_hazards(exhaustive=True, cache_dir=tmp_path)
+        assert again.source == "memory" and again.elapsed == 0.0
+
+    def test_corrupt_file_is_rebuilt(self, tmp_path):
+        library = cmos3.__wrapped__()
+        library.annotate_hazards(exhaustive=True, cache_dir=tmp_path)
+        path = anncache.annotation_path(library, True, tmp_path)
+        assert path.exists()
+        path.write_bytes(b"not a pickle at all")
+
+        rebuilt = cmos3.__wrapped__()
+        report = rebuilt.annotate_hazards(exhaustive=True, cache_dir=tmp_path)
+        assert report.source == "cold"  # fell back silently
+        # ... and the store was repaired: a third load hits disk again.
+        third = cmos3.__wrapped__()
+        assert (
+            third.annotate_hazards(exhaustive=True, cache_dir=tmp_path).source
+            == "disk"
+        )
+
+    def test_stale_fingerprint_is_rebuilt(self, tmp_path):
+        library = cmos3.__wrapped__()
+        library.annotate_hazards(exhaustive=True, cache_dir=tmp_path)
+        path = anncache.annotation_path(library, True, tmp_path)
+        with open(path, "rb") as handle:
+            payload = pickle.load(handle)
+        payload.fingerprint = "0" * 64
+        with open(path, "wb") as handle:
+            pickle.dump(payload, handle)
+
+        rebuilt = cmos3.__wrapped__()
+        report = rebuilt.annotate_hazards(exhaustive=True, cache_dir=tmp_path)
+        assert report.source == "cold"
+
+    def test_flavour_mismatch_misses(self, tmp_path):
+        library = cmos3.__wrapped__()
+        library.annotate_hazards(exhaustive=True, cache_dir=tmp_path)
+        other = cmos3.__wrapped__()
+        report = other.annotate_hazards(exhaustive=False, cache_dir=tmp_path)
+        # Different flavour lives at a different path: cold, not disk.
+        assert report.source == "cold"
+
+    def test_refresh_forces_cold(self, tmp_path):
+        library = cmos3.__wrapped__()
+        library.annotate_hazards(exhaustive=True, cache_dir=tmp_path)
+        report = library.annotate_hazards(
+            exhaustive=True, cache_dir=tmp_path, refresh=True
+        )
+        assert report.source == "cold"
+
+    def test_env_toggle_off_by_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_ANNOTATION_CACHE", raising=False)
+        assert anncache.resolve_cache_dir(None) is None
+
+    def test_env_toggle_values(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_ANNOTATION_CACHE", "0")
+        assert anncache.resolve_cache_dir(None) is None
+        monkeypatch.setenv("REPRO_ANNOTATION_CACHE", "1")
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        assert anncache.resolve_cache_dir(None) == tmp_path
+        monkeypatch.setenv("REPRO_ANNOTATION_CACHE", str(tmp_path / "custom"))
+        assert anncache.resolve_cache_dir(None) == tmp_path / "custom"
+
+    def test_entries_and_clear(self, tmp_path):
+        library = cmos3.__wrapped__()
+        library.annotate_hazards(exhaustive=True, cache_dir=tmp_path)
+        assert len(anncache.cache_entries(tmp_path)) == 1
+        assert anncache.clear_annotation_cache(tmp_path) == 1
+        assert anncache.cache_entries(tmp_path) == []
+
+
+class TestMappingConsistency:
+    @pytest.fixture
+    def mux_net(self):
+        return Netlist.from_equations(MUX)
+
+    def result_key(self, result):
+        return (result.area, result.delay, result.cell_usage())
+
+    def test_cold_memo_disk_mappings_agree(self, tmp_path, mux_net):
+        clear_global_cache()
+        cold_lib = fresh_teaching_library()
+        cold = async_tmap(
+            mux_net,
+            cold_lib,
+            MappingOptions(annotation_cache_dir=str(tmp_path)),
+        )
+        assert cold.annotation_report.source == "cold"
+
+        # Memo-warm: same process, hazard cache primed.
+        memo = async_tmap(mux_net, fresh_teaching_library(), MappingOptions())
+        assert memo.stats.cache_hits > 0
+        assert memo.stats.subset_cache_misses == 0
+
+        # Disk-warm: annotations replayed from the cache directory.
+        disk = async_tmap(
+            mux_net,
+            fresh_teaching_library(),
+            MappingOptions(annotation_cache_dir=str(tmp_path)),
+        )
+        assert disk.annotation_report.source == "disk"
+
+        assert self.result_key(cold) == self.result_key(memo)
+        assert self.result_key(cold) == self.result_key(disk)
+        clear_global_cache()
+
+    def test_filter_verdicts_survive_cache_round_trips(self, tmp_path, mux_net):
+        """The screened-cell decision (MUX21 admitted) is identical on
+        every warm path."""
+        clear_global_cache()
+        for options in (
+            MappingOptions(),
+            MappingOptions(),  # memo-warm second pass
+            MappingOptions(annotation_cache_dir=str(tmp_path)),
+            MappingOptions(annotation_cache_dir=str(tmp_path)),
+        ):
+            result = async_tmap(mux_net, fresh_teaching_library(), options)
+            assert result.stats.hazard_accepts >= 1
+            assert "MUX21" in result.cell_usage()
+        clear_global_cache()

@@ -1,0 +1,264 @@
+"""Randomized differential testing of the section-4 record algorithms.
+
+Each efficient detection procedure of section 4 is driven against the
+exhaustive event-lattice oracle (:mod:`repro.hazards.oracle`) on a
+seeded stream of random covers and factored expressions of up to five
+variables — 200 cases per hazard class, so every run replays the same
+>=800 comparisons.
+
+The agreement contract differs per class (mirroring the scopes the
+paper claims):
+
+* **static-1** — the complete census characterizes the oracle verdict
+  exactly: a fhf static-1 transition glitches iff its space lies in an
+  uncovered prime.  The paper's bit-vector records must additionally be
+  real (sound).
+* **static-0** — the vacuous-term records characterize the oracle on
+  *single-input-change* transitions (the filter consumes only those);
+  m.i.c. static-0 verdicts are oracle-only.
+* **m.i.c. dynamic** — records are always sound; they characterize the
+  oracle (together with static-1 shadows) only on absorption-free
+  covers, the procedure's documented scope.
+* **s.i.c. dynamic** — records characterize the oracle on
+  single-input-change dynamic transitions.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.boolean.cover import Cover
+from repro.boolean.cube import Cube
+from repro.boolean.expr import parse
+from repro.boolean.paths import label_cover, label_expression
+from repro.hazards.dynamic import exhibits_mic_dynamic, find_mic_dyn_haz_2level
+from repro.hazards.oracle import (
+    TransitionKind,
+    all_transitions,
+    classify_transition,
+    sic_transitions,
+)
+from repro.hazards.sic import find_sic_dynamic_hazards
+from repro.hazards.static0 import find_static0_hazards
+from repro.hazards.static1 import (
+    exhibits_static1,
+    find_static1_hazards,
+    find_static1_hazards_complete,
+)
+from repro.hazards.transition import transition_space
+
+CASES_PER_CLASS = 200
+NAMES = ["a", "b", "c", "d", "e"]
+
+
+def random_cover(rng: random.Random, nvars: int, max_cubes: int) -> Cover:
+    """A random cover: 1..max_cubes random non-empty cubes."""
+    cubes = []
+    for _ in range(rng.randint(1, max_cubes)):
+        used = rng.randint(1, (1 << nvars) - 1)
+        phase = rng.randint(0, (1 << nvars) - 1) & used
+        cubes.append(Cube(used, phase, nvars))
+    return Cover(cubes, nvars)
+
+
+def random_factored_text(rng: random.Random, nvars: int) -> str:
+    """A random factored expression: a product of literal-sums, with an
+    optional SOP tail — reconvergent variables arise naturally, which
+    is what excites vacuous terms (static-0 / s.i.c. dynamic)."""
+    names = NAMES[:nvars]
+
+    def literal() -> str:
+        name = rng.choice(names)
+        return name + ("'" if rng.random() < 0.5 else "")
+
+    def sum_term() -> str:
+        return "(" + " + ".join(literal() for _ in range(rng.randint(1, 3))) + ")"
+
+    factors = [sum_term() for _ in range(rng.randint(2, 3))]
+    text = "*".join(factors)
+    if rng.random() < 0.4:
+        tail = "*".join(literal() for _ in range(rng.randint(1, 2)))
+        text = f"{text} + {tail}"
+    return text
+
+
+class TestStatic1Differential:
+    def test_records_vs_oracle(self):
+        rng = random.Random(0x51A71C1)
+        checked = 0
+        for case in range(CASES_PER_CLASS):
+            nvars = rng.choice([3, 3, 4, 4, 5])
+            cover = random_cover(rng, nvars, max_cubes=4)
+            lsop = label_cover(cover, NAMES[:nvars])
+            complete = find_static1_hazards_complete(cover)
+            fast = find_static1_hazards(cover)
+            # Soundness of the paper's bit-vector records.
+            for hazard in fast:
+                assert cover.contains_cube(hazard.transition)
+                assert exhibits_static1(cover, hazard.transition)
+            # Exact characterization by the complete census.  Restrict
+            # 5-var cases to s.i.c. pairs to bound the lattice cost.
+            pairs = (
+                sic_transitions(nvars) if nvars >= 5 else all_transitions(nvars)
+            )
+            for start, end in pairs:
+                verdict = classify_transition(lsop, start, end)
+                if verdict.kind != TransitionKind.STATIC_1:
+                    continue
+                if verdict.function_hazard:
+                    continue
+                space = transition_space(start, end, nvars)
+                # The lattice oracle must agree with the combinational
+                # criterion: a fhf static-1 transition glitches iff no
+                # single cube holds the whole space.
+                held = cover.single_cube_contains(space)
+                assert (not held) == verdict.logic_hazard, (
+                    f"case {case}: {cover.to_string(NAMES[:nvars])} "
+                    f"{start:b}->{end:b}"
+                )
+                if verdict.logic_hazard:
+                    # ... and every hazardous space lies in some
+                    # uncovered prime of the complete census.
+                    assert any(h.transition.contains(space) for h in complete)
+                checked += 1
+        assert checked > CASES_PER_CLASS  # the stream really exercised pairs
+
+
+class TestStatic0Differential:
+    def test_records_vs_oracle_on_sic(self):
+        rng = random.Random(0x57A70)
+        hazard_cases = 0
+        for case in range(CASES_PER_CLASS):
+            nvars = rng.choice([3, 3, 4, 4, 5])
+            text = random_factored_text(rng, nvars)
+            lsop = label_expression(parse(text))
+            records = find_static0_hazards(lsop)
+            if records:
+                hazard_cases += 1
+            for start, end in sic_transitions(lsop.nvars):
+                verdict = classify_transition(lsop, start, end)
+                if verdict.kind != TransitionKind.STATIC_0:
+                    continue
+                if verdict.function_hazard:
+                    continue
+                var = (start ^ end).bit_length() - 1
+                reported = any(
+                    h.var == var
+                    and (h.condition.evaluate(start) or h.condition.evaluate(end))
+                    for h in records
+                )
+                assert reported == verdict.logic_hazard, (
+                    f"case {case}: {text}: {start:b}->{end:b}"
+                )
+        # The generator must actually produce hazardous structures.
+        assert hazard_cases >= CASES_PER_CLASS // 10
+
+
+class TestMicDynamicDifferential:
+    def test_records_vs_oracle(self):
+        rng = random.Random(0xD7A41C)
+        characterized_checked = 0
+        for case in range(CASES_PER_CLASS):
+            nvars = rng.choice([3, 3, 3, 4])
+            cover = random_cover(rng, nvars, max_cubes=4).dedup()
+            lsop = label_cover(cover, NAMES[:nvars])
+            records = find_mic_dyn_haz_2level(cover)
+            # Soundness: every record is a real, function-hazard-free
+            # dynamic logic hazard under the lattice semantics.
+            for hazard in records:
+                verdict = classify_transition(lsop, hazard.start, hazard.end)
+                assert verdict.kind == TransitionKind.DYNAMIC
+                assert not verdict.function_hazard
+                assert verdict.logic_hazard, (
+                    f"case {case}: {cover.to_string(NAMES[:nvars])} "
+                    f"{hazard.start:b}->{hazard.end:b}"
+                )
+            # Completeness only on absorption-free covers (the
+            # documented scope of the two-level procedure).
+            cubes = cover.cubes
+            absorbed = any(
+                i != j and cubes[j].contains(cubes[i])
+                for i in range(len(cubes))
+                for j in range(len(cubes))
+            )
+            if absorbed:
+                continue
+            static1 = find_static1_hazards_complete(cover)
+            for start, end in all_transitions(nvars):
+                verdict = classify_transition(lsop, start, end)
+                if verdict.kind != TransitionKind.DYNAMIC:
+                    continue
+                if not verdict.logic_hazard:
+                    continue
+                space = transition_space(start, end, nvars)
+                found = any(space.contains(h.space) for h in records)
+                if not found:
+                    for h in static1:
+                        inter = h.transition.intersection(space)
+                        if inter is not None and not cover.single_cube_contains(
+                            inter
+                        ):
+                            found = True
+                            break
+                assert found, (
+                    f"case {case}: {cover.to_string(NAMES[:nvars])} "
+                    f"{start:b}->{end:b} uncharacterized"
+                )
+                characterized_checked += 1
+        assert characterized_checked > 0
+
+    def test_exhibits_matches_oracle(self):
+        rng = random.Random(0xE41B17)
+        for case in range(CASES_PER_CLASS // 4):
+            nvars = 3
+            cover = random_cover(rng, nvars, max_cubes=4).dedup()
+            lsop = label_cover(cover, NAMES[:nvars])
+            for start, end in all_transitions(nvars):
+                verdict = classify_transition(lsop, start, end)
+                if verdict.kind != TransitionKind.DYNAMIC:
+                    continue
+                if verdict.function_hazard:
+                    continue
+                assert (
+                    exhibits_mic_dynamic(cover, start, end)
+                    == verdict.logic_hazard
+                ), (
+                    f"case {case}: {cover.to_string(NAMES[:nvars])} "
+                    f"{start:b}->{end:b}"
+                )
+
+
+class TestSicDynamicDifferential:
+    def test_records_vs_oracle_on_sic(self):
+        rng = random.Random(0x51CD11)
+        hazard_cases = 0
+        for case in range(CASES_PER_CLASS):
+            nvars = rng.choice([3, 3, 4, 4, 5])
+            text = random_factored_text(rng, nvars)
+            lsop = label_expression(parse(text))
+            records = find_sic_dynamic_hazards(lsop)
+            if records:
+                hazard_cases += 1
+            for start, end in sic_transitions(lsop.nvars):
+                verdict = classify_transition(lsop, start, end)
+                if verdict.kind != TransitionKind.DYNAMIC:
+                    continue
+                if verdict.function_hazard:
+                    continue
+                var = (start ^ end).bit_length() - 1
+                reported = any(
+                    h.var == var
+                    and (h.condition.evaluate(start) or h.condition.evaluate(end))
+                    for h in records
+                )
+                assert reported == verdict.logic_hazard, (
+                    f"case {case}: {text}: {start:b}->{end:b}"
+                )
+        assert hazard_cases >= CASES_PER_CLASS // 20
+
+
+def test_total_differential_volume():
+    """The harness replays at least the promised number of cases."""
+    assert CASES_PER_CLASS * 4 >= 800

@@ -93,3 +93,14 @@ class TestLibrary:
         assert lib.cell("INV").name == "INV"
         with pytest.raises(KeyError):
             lib.cell("MISSING")
+
+    def test_duplicate_error_names_the_cell(self):
+        with pytest.raises(ValueError, match="AND2"):
+            Library.from_spec(
+                "D", [("AND2", "a*b", None, 1.0), ("AND2", "a+b", None, 1.0)]
+            )
+
+    def test_name_index_covers_every_cell(self):
+        lib = self.make_library()
+        for cell in lib:
+            assert lib.cell(cell.name) is cell

@@ -61,3 +61,41 @@ class TestCli:
     def test_unknown_command_rejected(self):
         with pytest.raises(SystemExit):
             main(["frobnicate"])
+
+    def test_map_workers_flag(self, capsys):
+        assert main(["map", "dme", "CMOS3", "--workers", "4", "--no-cache"]) == 0
+        out = capsys.readouterr().out
+        assert "4 workers" in out
+        assert "cones" in out
+
+    def test_map_cache_dir_cold_then_warm(self, tmp_path, capsys):
+        cache_dir = str(tmp_path / "ann")
+        # Fresh (uncached) library instances so annotation really runs.
+        from repro.library.standard import cmos3
+
+        cmos3.cache_clear()
+        assert main(["map", "dme", "CMOS3", "--cache-dir", cache_dir]) == 0
+        cold_out = capsys.readouterr().out
+        assert "annotation: cold" in cold_out
+
+        cmos3.cache_clear()
+        assert main(["map", "dme", "CMOS3", "--cache-dir", cache_dir]) == 0
+        warm_out = capsys.readouterr().out
+        assert "annotation: disk" in warm_out
+        assert "cold pass was" in warm_out
+        cmos3.cache_clear()
+
+    def test_cache_subcommand_lists_and_clears(self, tmp_path, capsys):
+        cache_dir = str(tmp_path / "ann")
+        from repro.library.standard import cmos3
+
+        cmos3.cache_clear()
+        assert main(["map", "dme", "CMOS3", "--cache-dir", cache_dir]) == 0
+        capsys.readouterr()
+        assert main(["cache", "--cache-dir", cache_dir]) == 0
+        assert "1 entrie(s)" in capsys.readouterr().out
+        assert main(["cache", "--cache-dir", cache_dir, "--clear"]) == 0
+        assert "cleared 1" in capsys.readouterr().out
+        assert main(["cache", "--cache-dir", cache_dir]) == 0
+        assert "0 entrie(s)" in capsys.readouterr().out
+        cmos3.cache_clear()
