@@ -111,7 +111,13 @@ def _cmd_map(args: argparse.Namespace) -> int:
 
     library = load_library(args.library)
 
-    cache_dir = None if args.no_cache else (args.cache_dir or str(anncache.default_cache_root()))
+    # DISABLED (not None) so --no-cache also wins over a set
+    # REPRO_ANNOTATION_CACHE environment toggle.
+    cache_dir = (
+        anncache.DISABLED
+        if args.no_cache
+        else (args.cache_dir or str(anncache.default_cache_root()))
+    )
     options = MappingOptions(
         max_depth=args.depth,
         objective=args.objective,
@@ -234,7 +240,8 @@ def build_parser() -> argparse.ArgumentParser:
     map_cmd.add_argument(
         "--no-cache",
         action="store_true",
-        help="skip the on-disk library-annotation cache",
+        help="skip the on-disk library-annotation cache "
+        "(overrides REPRO_ANNOTATION_CACHE)",
     )
     map_cmd.add_argument(
         "--cache-dir", help="annotation cache location (default: ~/.cache/repro-tmap)"

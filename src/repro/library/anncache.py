@@ -9,14 +9,18 @@ version-stamped cache directory and replays them on the next load.
 
 Layout::
 
-    <cache root>/annotations/v<CACHE_VERSION>/<lib>-<x|r>-<fingerprint>.pkl
+    <cache root>/annotations/v<CACHE_VERSION>/<lib>-<x|r>-<fingerprint>.json
 
-The fingerprint is a SHA-256 over the cache version, the package
-version, and every cell's (name, BFF text, pin order, area, delay), so
-any change to the library or to the analysis code's on-disk contract
-misses cleanly.  Payloads carry the fingerprint again and are validated
-on read; corrupt, truncated, or stale files are removed and silently
-rebuilt — the cache can never change results, only timing.
+Payloads are plain JSON holding only data (cube bit-vectors, record
+lists, verdict tuples) — never pickled objects — so loading a cache
+file from a shared or otherwise untrusted directory can at worst
+produce a validation miss, not code execution.  The fingerprint is a
+SHA-256 over the cache version, the package version, and every cell's
+(name, BFF text, pin order, area, delay), so any change to the library
+or to the analysis code's on-disk contract misses cleanly.  Payloads
+carry the fingerprint again and are validated on read; corrupt,
+truncated, or stale files are removed and silently rebuilt — the cache
+can never change results, only timing.
 
 Enabling the cache:
 
@@ -24,6 +28,11 @@ Enabling the cache:
 * or set ``REPRO_ANNOTATION_CACHE`` (``1``/``on`` for the default
   location, any other value is taken as a directory path);
 * the CLI enables it by default (``--no-cache`` / ``--cache-dir``).
+
+Passing the :data:`DISABLED` sentinel as ``cache_dir`` turns the cache
+off unconditionally — unlike ``None`` it does *not* fall back to the
+environment toggle, which is how the CLI's ``--no-cache`` stays
+hermetic under ``REPRO_ANNOTATION_CACHE=1``.
 
 The default root honours ``REPRO_CACHE_DIR``, then ``XDG_CACHE_HOME``,
 then ``~/.cache/repro-tmap``.  ``repro cache --clear`` (or
@@ -33,24 +42,48 @@ then ``~/.cache/repro-tmap``.  ``repro cache --clear`` (or
 from __future__ import annotations
 
 import hashlib
+import json
 import os
-import pickle
 import time
 from dataclasses import dataclass
 from pathlib import Path
 from typing import TYPE_CHECKING, Optional, Union
 
+from ..boolean.cover import Cover
+from ..boolean.cube import Cube
+from ..boolean.paths import LabeledLiteral, LabeledProduct, LabeledSop
+from ..hazards.oracle import TransitionKind, TransitionVerdict
+from ..hazards.types import (
+    MicDynamicHazard,
+    SicDynamicHazard,
+    Static0Hazard,
+    Static1Hazard,
+)
+
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from ..hazards.analyzer import HazardAnalysis
     from .library import Library
 
-#: Bump when the pickled payload layout or the analysis semantics change.
-CACHE_VERSION = 1
+#: Bump when the payload layout or the analysis semantics change.
+#: v2: JSON data-only payloads (v1 was pickled objects).
+CACHE_VERSION = 2
 
 _ENV_TOGGLE = "REPRO_ANNOTATION_CACHE"
 _ENV_ROOT = "REPRO_CACHE_DIR"
 
-CacheDir = Union[str, os.PathLike, None]
+
+class _CacheDisabled:
+    """Sentinel type: cache explicitly off, environment toggle ignored."""
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "anncache.DISABLED"
+
+
+#: Pass as ``cache_dir`` to force the cache off regardless of
+#: ``REPRO_ANNOTATION_CACHE`` (the CLI's ``--no-cache``).
+DISABLED = _CacheDisabled()
+
+CacheDir = Union[str, os.PathLike, None, _CacheDisabled]
 
 
 def default_cache_root() -> Path:
@@ -66,10 +99,13 @@ def default_cache_root() -> Path:
 def resolve_cache_dir(cache_dir: CacheDir = None) -> Optional[Path]:
     """Resolve a caller-supplied cache location to a directory or None.
 
-    ``None`` consults ``REPRO_ANNOTATION_CACHE``: unset/falsy disables
-    the cache (keeping library loads hermetic by default); ``1``/``on``/
-    ``yes``/``auto`` selects the default root; anything else is a path.
+    :data:`DISABLED` always disables the cache.  ``None`` consults
+    ``REPRO_ANNOTATION_CACHE``: unset/falsy disables the cache (keeping
+    library loads hermetic by default); ``1``/``on``/``yes``/``auto``
+    selects the default root; anything else is a path.
     """
+    if isinstance(cache_dir, _CacheDisabled):
+        return None
     if cache_dir is not None:
         return Path(cache_dir)
     toggle = os.environ.get(_ENV_TOGGLE, "").strip()
@@ -104,7 +140,7 @@ def annotation_path(
         Path(cache_dir)
         / "annotations"
         / f"v{CACHE_VERSION}"
-        / f"{library.name}-{flavour}-{fingerprint[:16]}.pkl"
+        / f"{library.name}-{flavour}-{fingerprint[:16]}.json"
     )
 
 
@@ -120,6 +156,93 @@ class AnnotationPayload:
     created: float
 
 
+# ----------------------------------------------------------------------
+# Data-only (de)serialization of HazardAnalysis
+# ----------------------------------------------------------------------
+def _analysis_to_data(analysis: "HazardAnalysis") -> dict:
+    def cube(c: Cube) -> list[int]:
+        return [c.used, c.phase]
+
+    def cover(cov: Cover) -> list[list[int]]:
+        return [cube(c) for c in cov.cubes]
+
+    def pulse(record) -> list:
+        return [record.var, cube(record.residual), cover(record.condition)]
+
+    return {
+        "names": analysis.names,
+        "plain": cover(analysis.plain),
+        "lsop": [
+            [[lit.name, lit.path, lit.positive] for lit in product.literals]
+            for product in analysis.lsop.products
+        ],
+        "static1": [cube(h.transition) for h in analysis.static1],
+        "static0": [pulse(h) for h in analysis.static0],
+        "mic_dynamic": [[h.start, h.end] for h in analysis.mic_dynamic],
+        "sic_dynamic": [pulse(h) for h in analysis.sic_dynamic],
+        "verdicts": None
+        if analysis.verdicts is None
+        else [
+            [v.start, v.end, v.kind.value, v.function_hazard, v.logic_hazard]
+            for v in analysis.verdicts
+        ],
+    }
+
+
+def _analysis_from_data(data: dict) -> "HazardAnalysis":
+    from ..hazards.analyzer import HazardAnalysis
+
+    names = [str(n) for n in data["names"]]
+    nvars = len(names)
+
+    def cube(pair) -> Cube:
+        used, phase = pair
+        return Cube(int(used), int(phase), nvars)
+
+    def cover(pairs) -> Cover:
+        return Cover([cube(p) for p in pairs], nvars)
+
+    lsop = LabeledSop(
+        [
+            LabeledProduct(
+                tuple(
+                    LabeledLiteral(str(name), int(path), bool(positive))
+                    for name, path, positive in product
+                )
+            )
+            for product in data["lsop"]
+        ],
+        names,
+    )
+    verdicts = data["verdicts"]
+    return HazardAnalysis(
+        names=names,
+        plain=cover(data["plain"]),
+        lsop=lsop,
+        static1=[Static1Hazard(cube(c)) for c in data["static1"]],
+        static0=[
+            Static0Hazard(int(var), cube(residual), cover(condition))
+            for var, residual, condition in data["static0"]
+        ],
+        mic_dynamic=[
+            MicDynamicHazard(int(start), int(end), nvars)
+            for start, end in data["mic_dynamic"]
+        ],
+        sic_dynamic=[
+            SicDynamicHazard(int(var), cube(residual), cover(condition))
+            for var, residual, condition in data["sic_dynamic"]
+        ],
+        verdicts=None
+        if verdicts is None
+        else [
+            TransitionVerdict(
+                int(start), int(end), TransitionKind(kind), bool(fh), bool(lh)
+            )
+            for start, end, kind, fh, lh in verdicts
+        ],
+    )
+
+
 def load_annotations(
     library: "Library", exhaustive: bool, cache_dir: Path
 ) -> Optional[AnnotationPayload]:
@@ -132,17 +255,29 @@ def load_annotations(
     if not path.exists():
         return None
     try:
-        with open(path, "rb") as handle:
-            payload = pickle.load(handle)
-        if not isinstance(payload, AnnotationPayload):
+        with open(path, "r", encoding="utf-8") as handle:
+            data = json.load(handle)
+        if not isinstance(data, dict):
             raise ValueError("unexpected payload type")
-        if payload.fingerprint != library_fingerprint(library):
+        if data.get("cache_version") != CACHE_VERSION:
+            raise ValueError("cache version mismatch")
+        if data.get("fingerprint") != library_fingerprint(library):
             raise ValueError("stale fingerprint")
-        if payload.exhaustive != exhaustive:
+        if bool(data.get("exhaustive")) != exhaustive:
             raise ValueError("annotation flavour mismatch")
-        missing = {c.name for c in library.cells} - set(payload.analyses)
+        raw = data["analyses"]
+        missing = {c.name for c in library.cells} - set(raw)
         if missing:
             raise ValueError(f"cells missing from payload: {sorted(missing)}")
+        analyses = {name: _analysis_from_data(entry) for name, entry in raw.items()}
+        payload = AnnotationPayload(
+            fingerprint=str(data["fingerprint"]),
+            library=str(data["library"]),
+            exhaustive=exhaustive,
+            cold_elapsed=float(data["cold_elapsed"]),
+            analyses=analyses,
+            created=float(data["created"]),
+        )
     except Exception:
         # Corrupt/stale/truncated: drop the file and fall back to cold.
         try:
@@ -159,32 +294,37 @@ def store_annotations(
     """Persist the library's current annotations (atomic replace)."""
     path = annotation_path(library, exhaustive, cache_dir)
     path.parent.mkdir(parents=True, exist_ok=True)
-    payload = AnnotationPayload(
-        fingerprint=library_fingerprint(library),
-        library=library.name,
-        exhaustive=exhaustive,
-        cold_elapsed=cold_elapsed,
-        analyses={
-            cell.name: cell.analysis
+    data = {
+        "cache_version": CACHE_VERSION,
+        "fingerprint": library_fingerprint(library),
+        "library": library.name,
+        "exhaustive": exhaustive,
+        "cold_elapsed": cold_elapsed,
+        "created": time.time(),
+        "analyses": {
+            cell.name: _analysis_to_data(cell.analysis)
             for cell in library.cells
             if cell.analysis is not None
         },
-        created=time.time(),
-    )
+    }
     tmp = path.with_suffix(f".tmp-{os.getpid()}")
-    with open(tmp, "wb") as handle:
-        pickle.dump(payload, handle, protocol=pickle.HIGHEST_PROTOCOL)
+    with open(tmp, "w", encoding="utf-8") as handle:
+        json.dump(data, handle, separators=(",", ":"))
     os.replace(tmp, path)
     return path
 
 
 def cache_entries(cache_dir: CacheDir = None) -> list[Path]:
-    """Every payload file under the (resolved or default) cache root."""
+    """Every payload file under the (resolved or default) cache root.
+
+    Includes legacy v1 ``.pkl`` payloads so ``clear_annotation_cache``
+    sweeps them away too.
+    """
     root = resolve_cache_dir(cache_dir) or default_cache_root()
     base = Path(root) / "annotations"
     if not base.exists():
         return []
-    return sorted(base.glob("v*/*.pkl"))
+    return sorted([*base.glob("v*/*.json"), *base.glob("v*/*.pkl")])
 
 
 def clear_annotation_cache(cache_dir: CacheDir = None) -> int:

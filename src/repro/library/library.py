@@ -85,22 +85,50 @@ class Library:
     # ------------------------------------------------------------------
     # Matching indexes
     # ------------------------------------------------------------------
-    def by_pin_count(self, pins: int) -> list[LibraryCell]:
+    # The lazy builds populate a local dict and publish it with a single
+    # attribute assignment, so a concurrent reader sees either None
+    # (and builds its own complete copy) or a fully built index — never
+    # a partially filled one.  Parallel covering additionally calls
+    # build_matching_indexes() before spawning workers.
+    def _build_pin_index(self) -> dict[int, list[LibraryCell]]:
+        index: dict[int, list[LibraryCell]] = {}
+        for cell in self.cells:
+            index.setdefault(cell.num_pins, []).append(cell)
+        return index
+
+    def _build_signature_index(self) -> dict[tuple, list[LibraryCell]]:
+        index: dict[tuple, list[LibraryCell]] = {}
+        for cell in self.cells:
+            key = (cell.num_pins, tt.signature(cell.truth_table(), cell.num_pins))
+            index.setdefault(key, []).append(cell)
+        return index
+
+    def build_matching_indexes(self) -> None:
+        """Build both matching indexes eagerly (idempotent).
+
+        Call before sharing the library across covering threads so no
+        worker ever races the first lazy build.
+        """
         if self._by_pins is None:
-            self._by_pins = {}
-            for cell in self.cells:
-                self._by_pins.setdefault(cell.num_pins, []).append(cell)
-        return self._by_pins.get(pins, [])
+            self._by_pins = self._build_pin_index()
+        if self._signatures is None:
+            self._signatures = self._build_signature_index()
+
+    def by_pin_count(self, pins: int) -> list[LibraryCell]:
+        index = self._by_pins
+        if index is None:
+            index = self._build_pin_index()
+            self._by_pins = index
+        return index.get(pins, [])
 
     def candidates(self, table: int, pins: int) -> list[LibraryCell]:
         """Cells whose permutation-invariant signature matches ``table``."""
-        if self._signatures is None:
-            self._signatures = {}
-            for cell in self.cells:
-                key = (cell.num_pins, tt.signature(cell.truth_table(), cell.num_pins))
-                self._signatures.setdefault(key, []).append(cell)
+        index = self._signatures
+        if index is None:
+            index = self._build_signature_index()
+            self._signatures = index
         key = (pins, tt.signature(table, pins))
-        return self._signatures.get(key, [])
+        return index.get(key, [])
 
     # ------------------------------------------------------------------
     # Hazard annotation (async library initialization)

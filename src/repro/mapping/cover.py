@@ -131,13 +131,22 @@ def cover_cone(
         cache = global_cache()
     clusters = enumerate_clusters(netlist, cone, max_depth, max_inputs)
 
-    def cluster_analysis(cluster: Cluster) -> HazardAnalysis:
-        expr = cluster_expression(netlist, cluster)
+    # Per-cone memo: repeated hazardous matches on one cluster reuse the
+    # analysis without rebuilding the expression or re-querying the
+    # shared cache (hit/miss counters fire once per distinct cluster).
+    analysis_memo: dict[tuple[str, tuple[str, ...]], HazardAnalysis] = {}
+
+    def cluster_analysis(cluster: Cluster, expr) -> HazardAnalysis:
+        key = (cluster.root, cluster.leaves)
+        analysis = analysis_memo.get(key)
+        if analysis is not None:
+            return analysis
         analysis, hit = cache.expression_analysis(expr, cluster.leaves)
         if hit:
             stats.analysis_cache_hits += 1
         else:
             stats.analysis_cache_misses += 1
+        analysis_memo[key] = analysis
         return analysis
 
     best: dict[str, tuple[float, Optional[Selection]]] = {
@@ -158,7 +167,7 @@ def cover_cone(
                 stats.matches += 1
                 if hazard_filter and match.cell.is_hazardous:
                     stats.hazardous_matches += 1
-                    analysis = cluster_analysis(cluster)
+                    analysis = cluster_analysis(cluster, expr)
                     assert match.cell.analysis is not None
                     stats.filter_invocations += 1
                     accepted, hit = cache.hazards_subset(

@@ -28,6 +28,7 @@ from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Optional
 
+from ..library import anncache
 from ..library.library import AnnotationReport, Library
 from ..network.decompose import async_tech_decomp, tech_decomp
 from ..network.netlist import Netlist
@@ -52,7 +53,9 @@ class MappingOptions:
 
     ``annotation_cache_dir`` is forwarded to
     :meth:`repro.library.library.Library.annotate_hazards` so the
-    one-time Table-2 annotation cost can be replayed from disk.
+    one-time Table-2 annotation cost can be replayed from disk.  Pass
+    :data:`repro.library.anncache.DISABLED` to bypass the cache even
+    when the ``REPRO_ANNOTATION_CACHE`` environment toggle is set.
     """
 
     max_depth: int = 5
@@ -62,7 +65,7 @@ class MappingOptions:
     exhaustive_annotation: bool = True
     input_bursts: Optional[list] = None
     workers: int = 1
-    annotation_cache_dir: Optional[str] = None
+    annotation_cache_dir: anncache.CacheDir = None
 
     def resolved_workers(self) -> int:
         if self.workers == 0:
@@ -168,6 +171,9 @@ def _map_decomposed(
         from .dontcare import HazardDontCares
 
         dont_cares = HazardDontCares(decomposed, options.input_bursts)
+    # Matching consults both indexes on every cluster; build them before
+    # any covering (and before worker threads could race the lazy build).
+    library.build_matching_indexes()
     cones = partition(decomposed)
     workers = options.resolved_workers()
 

@@ -13,7 +13,7 @@ and silently rebuilt, never trusted.
 
 from __future__ import annotations
 
-import pickle
+import json
 
 import pytest
 
@@ -174,7 +174,7 @@ class TestDiskAnnotationCache:
         library.annotate_hazards(exhaustive=True, cache_dir=tmp_path)
         path = anncache.annotation_path(library, True, tmp_path)
         assert path.exists()
-        path.write_bytes(b"not a pickle at all")
+        path.write_bytes(b"not a json payload {")
 
         rebuilt = cmos3.__wrapped__()
         report = rebuilt.annotate_hazards(exhaustive=True, cache_dir=tmp_path)
@@ -190,11 +190,9 @@ class TestDiskAnnotationCache:
         library = cmos3.__wrapped__()
         library.annotate_hazards(exhaustive=True, cache_dir=tmp_path)
         path = anncache.annotation_path(library, True, tmp_path)
-        with open(path, "rb") as handle:
-            payload = pickle.load(handle)
-        payload.fingerprint = "0" * 64
-        with open(path, "wb") as handle:
-            pickle.dump(payload, handle)
+        data = json.loads(path.read_text())
+        data["fingerprint"] = "0" * 64
+        path.write_text(json.dumps(data))
 
         rebuilt = cmos3.__wrapped__()
         report = rebuilt.annotate_hazards(exhaustive=True, cache_dir=tmp_path)
@@ -229,12 +227,40 @@ class TestDiskAnnotationCache:
         monkeypatch.setenv("REPRO_ANNOTATION_CACHE", str(tmp_path / "custom"))
         assert anncache.resolve_cache_dir(None) == tmp_path / "custom"
 
+    def test_disabled_sentinel_beats_env_toggle(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_ANNOTATION_CACHE", "1")
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        assert anncache.resolve_cache_dir(anncache.DISABLED) is None
+        # An annotation run with the sentinel must stay hermetic.
+        library = cmos3.__wrapped__()
+        report = library.annotate_hazards(
+            exhaustive=True, cache_dir=anncache.DISABLED
+        )
+        assert report.source == "cold" and report.cache_path is None
+        assert anncache.cache_entries(tmp_path) == []
+
+    def test_payload_is_data_only_json(self, tmp_path):
+        library = cmos3.__wrapped__()
+        library.annotate_hazards(exhaustive=True, cache_dir=tmp_path)
+        path = anncache.annotation_path(library, True, tmp_path)
+        data = json.loads(path.read_text())  # parses as plain JSON
+        assert data["cache_version"] == anncache.CACHE_VERSION
+        assert set(data["analyses"]) == {c.name for c in library.cells}
+
     def test_entries_and_clear(self, tmp_path):
         library = cmos3.__wrapped__()
         library.annotate_hazards(exhaustive=True, cache_dir=tmp_path)
         assert len(anncache.cache_entries(tmp_path)) == 1
         assert anncache.clear_annotation_cache(tmp_path) == 1
         assert anncache.cache_entries(tmp_path) == []
+
+    def test_clear_sweeps_legacy_pickle_payloads(self, tmp_path):
+        legacy = tmp_path / "annotations" / "v1" / "CMOS3-x-0123456789abcdef.pkl"
+        legacy.parent.mkdir(parents=True)
+        legacy.write_bytes(b"legacy pickled payload")
+        assert anncache.cache_entries(tmp_path) == [legacy]
+        assert anncache.clear_annotation_cache(tmp_path) == 1
+        assert not legacy.exists()
 
 
 class TestMappingConsistency:

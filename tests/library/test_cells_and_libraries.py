@@ -104,3 +104,34 @@ class TestLibrary:
         lib = self.make_library()
         for cell in lib:
             assert lib.cell(cell.name) is cell
+
+    def test_build_matching_indexes_is_eager_and_idempotent(self):
+        lib = self.make_library()
+        lib.build_matching_indexes()
+        pins = lib._by_pins
+        sigs = lib._signatures
+        assert pins is not None and sigs is not None
+        lib.build_matching_indexes()  # idempotent: no rebuild
+        assert lib._by_pins is pins and lib._signatures is sigs
+        assert {c.name for c in lib.by_pin_count(2)} == {"AND2", "OR2"}
+
+    def test_index_lookups_are_consistent_across_threads(self):
+        # Regression for a race: the first lazy index build must never
+        # expose a partially populated dict to concurrent readers.
+        from concurrent.futures import ThreadPoolExecutor
+
+        and_table = tt.from_callable(lambda p: p == 3, 2)
+
+        def probe(lib):
+            return (
+                {c.name for c in lib.candidates(and_table, 2)},
+                {c.name for c in lib.by_pin_count(2)},
+            )
+
+        for _ in range(20):
+            lib = self.make_library()  # fresh: indexes unbuilt
+            with ThreadPoolExecutor(max_workers=8) as pool:
+                outcomes = list(pool.map(probe, [lib] * 8))
+            for names, by_pins in outcomes:
+                assert "AND2" in names and "OR2" not in names
+                assert by_pins == {"AND2", "OR2"}

@@ -85,6 +85,18 @@ class TestCli:
         assert "cold pass was" in warm_out
         cmos3.cache_clear()
 
+    def test_no_cache_overrides_env_toggle(self, tmp_path, monkeypatch, capsys):
+        # --no-cache must stay hermetic even with the env toggle set.
+        from repro.library.standard import cmos3
+
+        monkeypatch.setenv("REPRO_ANNOTATION_CACHE", "1")
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        cmos3.cache_clear()
+        assert main(["map", "dme", "CMOS3", "--no-cache"]) == 0
+        assert "annotation: cold" in capsys.readouterr().out
+        assert not (tmp_path / "annotations").exists()
+        cmos3.cache_clear()
+
     def test_cache_subcommand_lists_and_clears(self, tmp_path, capsys):
         cache_dir = str(tmp_path / "ann")
         from repro.library.standard import cmos3
