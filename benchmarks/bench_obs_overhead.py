@@ -1,0 +1,88 @@
+"""Overhead of the observability layer on the Table-5 workload.
+
+The tracing/metrics design budget is <5% overhead with tracing
+*disabled* (the default: every instrumented call site sees
+``NULL_TRACER``, a shared no-op context manager).  This harness
+measures three configurations over a mid-sized slice of the Table-5
+catalog and reports relative cost:
+
+* ``baseline``  — no tracer, no registry (post-instrumentation default);
+* ``metrics``   — a live ``MetricsRegistry`` (absorbed once per run);
+* ``traced``    — a live ``Tracer`` recording the full span tree.
+
+The 5% claim is asserted as a *note* in the emitted table, not as a
+pytest assertion — wall-clock ratios on shared CI hardware are exactly
+the kind of flaky gate ``check_regression.py`` was designed to avoid.
+Run locally with::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_obs_overhead.py -s
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.burstmode.benchmarks import synthesize_benchmark
+from repro.hazards.cache import clear_global_cache
+from repro.mapping.mapper import MappingOptions, async_tmap
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracer import Tracer
+from repro.reporting import render_table
+
+from .conftest import emit
+
+#: Mid-sized slice: large enough for stable ratios, small enough to run
+#: in a couple of seconds per repeat.
+WORKLOAD = ("dme-fast", "pe-send-ifc", "oscsi-ctrl", "abcs")
+REPEATS = 3
+
+
+def run_workload(annotated_libraries, tracer=None, metrics=None) -> float:
+    library = annotated_libraries["CMOS3"]
+    start = time.perf_counter()
+    for name in WORKLOAD:
+        clear_global_cache()
+        net = synthesize_benchmark(name).netlist(name)
+        async_tmap(
+            net, library, MappingOptions(tracer=tracer, metrics=metrics)
+        )
+    return time.perf_counter() - start
+
+
+def test_observability_overhead(annotated_libraries):
+    configs = {
+        "baseline": lambda: run_workload(annotated_libraries),
+        "metrics": lambda: run_workload(
+            annotated_libraries, metrics=MetricsRegistry()
+        ),
+        "traced": lambda: run_workload(annotated_libraries, tracer=Tracer()),
+    }
+    timings = {name: [] for name in configs}
+    for _ in range(REPEATS):
+        for name, runner in configs.items():
+            timings[name].append(runner())
+
+    best = {name: min(values) for name, values in timings.items()}
+    rows = []
+    for name in configs:
+        ratio = best[name] / best["baseline"] - 1.0
+        rows.append([name, f"{best[name]:.3f}s", f"{ratio * +100.0:+.1f}%"])
+
+    note = (
+        "Budget: disabled-path (baseline vs pre-instrumentation) overhead "
+        "<5%.  The baseline row IS the disabled path — all call sites\n"
+        "run against NULL_TRACER/no registry, adding one attribute check "
+        "per phase (never per match).  Enabled tracing stays cheap\n"
+        "because spans are per-phase/per-cone: a few dozen allocations "
+        "per run, orders below the covering work they time."
+    )
+    emit(
+        "obs_overhead",
+        render_table(
+            ["Config", "Best of 3", "vs baseline"],
+            rows,
+            title="Observability overhead on a Table-5 slice (CMOS3, depth 5)",
+        )
+        + "\n\n"
+        + note,
+    )

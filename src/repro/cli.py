@@ -8,11 +8,17 @@ Commands mirror the paper's workflows:
   library with the sync or async mapper, optionally with hazard
   don't-cares, and verify the result;
 * ``bench``   — list the benchmark catalog;
+* ``perf``    — replay the Table-5 workload and write the
+  ``BENCH_mapping.json`` snapshot that
+  ``benchmarks/check_regression.py`` gates against;
 * ``cache``   — inspect or clear the on-disk annotation cache.
 
 ``map`` persists library hazard annotations to a disk cache by default
 (pass ``--no-cache`` to disable, ``--cache-dir`` to relocate) and takes
-``--workers`` for parallel cone covering.
+``--workers`` for parallel cone covering.  ``map --trace out.json``
+records the run as a span tree (``repro-trace/v1``) and ``--metrics``
+prints the run's counter/gauge/histogram snapshot; both are also
+available on ``perf``.
 """
 
 from __future__ import annotations
@@ -27,6 +33,10 @@ from .library.standard import ALL_LIBRARIES, load_library
 from .mapping.dontcare import synthesis_bursts
 from .mapping.mapper import MappingOptions, async_tmap, tmap
 from .mapping.verify import verify_mapping
+from .obs.export import write_bench_snapshot, write_trace
+from .obs.metrics import MetricsRegistry
+from .obs.perf import run_perf
+from .obs.tracer import Tracer
 from .reporting import render_table
 
 
@@ -118,11 +128,15 @@ def _cmd_map(args: argparse.Namespace) -> int:
         if args.no_cache
         else (args.cache_dir or str(anncache.default_cache_root()))
     )
+    tracer = Tracer() if args.trace else None
+    metrics = MetricsRegistry()
     options = MappingOptions(
         max_depth=args.depth,
         objective=args.objective,
         workers=args.workers,
         annotation_cache_dir=cache_dir,
+        tracer=tracer,
+        metrics=metrics,
     )
     if args.dont_cares:
         if synthesis is None:
@@ -166,6 +180,14 @@ def _cmd_map(args: argparse.Namespace) -> int:
             f"{result.stats.hazard_accepts} accepted, "
             f"{result.stats.dc_waivers} waived by don't-cares"
         )
+    if tracer is not None:
+        tracer.assert_well_formed()
+        write_trace(args.trace, tracer, metrics=result.metrics)
+        print(f"trace written to {args.trace}")
+    if args.metrics:
+        print("metrics:")
+        for line in _format_metrics(result.metrics):
+            print(f"  {line}")
     if args.verify:
         report = verify_mapping(network, result.mapped)
         print(
@@ -182,6 +204,69 @@ def _cmd_map(args: argparse.Namespace) -> int:
         with open(args.output, "w") as handle:
             write_blif(result.mapped, handle)
         print(f"mapped network written to {args.output}")
+    return 0
+
+
+def _format_metrics(registry: MetricsRegistry) -> list[str]:
+    lines = []
+    for name, snap in registry.snapshot().items():
+        if snap["type"] == "histogram":
+            mean = f"{snap['mean']:.6f}" if snap["mean"] is not None else "-"
+            lines.append(
+                f"{name} = histogram(count={snap['count']}, "
+                f"sum={snap['sum']:.6f}, mean={mean})"
+            )
+        else:
+            lines.append(f"{name} = {snap['value']}")
+    return lines
+
+
+def _cmd_perf(args: argparse.Namespace) -> int:
+    tracer = Tracer() if args.trace else None
+    metrics = MetricsRegistry()
+
+    def progress(name: str, entry: dict) -> None:
+        verdict = ""
+        if "verify" in entry:
+            verdict = " verify=ok" if entry["verify"]["ok"] else " verify=FAILED"
+        print(
+            f"  {name}: {entry['map_seconds']:.2f}s area={entry['area']:.0f} "
+            f"cells={entry['cells']} "
+            f"cache_hit_rate={entry['cache']['hit_rate']:.2f}{verdict}"
+        )
+
+    print(f"perf: mapping onto {args.library} (workers={args.workers})")
+    snapshot = run_perf(
+        benchmarks=args.benchmarks or None,
+        library=args.library,
+        workers=args.workers,
+        max_depth=args.depth,
+        verify=not args.no_verify,
+        tracer=tracer,
+        metrics=metrics,
+        progress=progress,
+    )
+    write_bench_snapshot(args.output, snapshot)
+    print(
+        f"snapshot of {len(snapshot['benchmarks'])} benchmark(s) "
+        f"written to {args.output}"
+    )
+    if tracer is not None:
+        tracer.assert_well_formed()
+        write_trace(args.trace, tracer, metrics=metrics)
+        print(f"trace written to {args.trace}")
+    if args.metrics:
+        print("metrics:")
+        for line in _format_metrics(metrics):
+            print(f"  {line}")
+    failed = [
+        name
+        for name, entry in snapshot["benchmarks"].items()
+        if "verify" in entry and not entry["verify"]["ok"]
+    ]
+    if failed:
+        print(f"verification FAILED for: {', '.join(sorted(failed))}")
+        return 1
     return 0
 
 
@@ -246,7 +331,59 @@ def build_parser() -> argparse.ArgumentParser:
     map_cmd.add_argument(
         "--cache-dir", help="annotation cache location (default: ~/.cache/repro-tmap)"
     )
+    map_cmd.add_argument(
+        "--trace",
+        metavar="FILE",
+        help="record the run as a repro-trace/v1 span tree at FILE",
+    )
+    map_cmd.add_argument(
+        "--metrics",
+        action="store_true",
+        help="print the run's metrics snapshot",
+    )
     map_cmd.set_defaults(func=_cmd_map)
+
+    perf = sub.add_parser(
+        "perf",
+        help="run the Table-5 workload and write a BENCH_mapping.json snapshot",
+    )
+    perf.add_argument(
+        "--benchmarks",
+        nargs="*",
+        choices=sorted(CATALOG),
+        help="catalog subset to run (default: the full Table-5 order)",
+    )
+    perf.add_argument(
+        "--library", choices=sorted(ALL_LIBRARIES), default="CMOS3"
+    )
+    perf.add_argument(
+        "--output",
+        default="BENCH_mapping.json",
+        help="snapshot destination (default: ./BENCH_mapping.json)",
+    )
+    perf.add_argument("--depth", type=int, default=5)
+    perf.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="parallel cone-covering threads (0 = one per CPU)",
+    )
+    perf.add_argument(
+        "--no-verify",
+        action="store_true",
+        help="skip hazard/equivalence verification of each mapped network",
+    )
+    perf.add_argument(
+        "--trace",
+        metavar="FILE",
+        help="record the whole session as a repro-trace/v1 span forest",
+    )
+    perf.add_argument(
+        "--metrics",
+        action="store_true",
+        help="print the aggregated metrics snapshot",
+    )
+    perf.set_defaults(func=_cmd_perf)
 
     cache_cmd = sub.add_parser(
         "cache", help="inspect or clear the annotation cache"

@@ -22,6 +22,7 @@ Two comparison modes are provided:
 
 from __future__ import annotations
 
+import time as _time
 from dataclasses import dataclass, field
 from typing import Callable, Optional, Sequence
 
@@ -129,8 +130,16 @@ def analyze_cover(
     cover: Cover,
     names: Optional[Sequence[str]] = None,
     exhaustive: bool = False,
+    metrics=None,
 ) -> HazardAnalysis:
-    """Hazard analysis of a two-level AND-OR implementation."""
+    """Hazard analysis of a two-level AND-OR implementation.
+
+    ``metrics`` (a :class:`repro.obs.metrics.MetricsRegistry`) counts
+    the call and times it under ``hazard.cover_analyses`` /
+    ``hazard.analysis_seconds`` — the per-analysis cost the hazard
+    cache amortizes.
+    """
+    start = _time.perf_counter() if metrics is not None else 0.0
     if names is None:
         names = [f"x{i}" for i in range(cover.nvars)]
     names = list(names)
@@ -146,6 +155,11 @@ def analyze_cover(
     )
     if exhaustive:
         analysis.ensure_verdicts()
+    if metrics is not None:
+        metrics.counter("hazard.cover_analyses").inc()
+        metrics.histogram("hazard.analysis_seconds").observe(
+            _time.perf_counter() - start
+        )
     return analysis
 
 
@@ -153,6 +167,7 @@ def analyze_expression(
     expr: Expr,
     names: Optional[Sequence[str]] = None,
     exhaustive: bool = False,
+    metrics=None,
 ) -> HazardAnalysis:
     """Hazard analysis of a multilevel Boolean-factored-form structure.
 
@@ -162,7 +177,11 @@ def analyze_expression(
     complete hazardous-transition list is also stored (library cells are
     small, and this is where the async mapper pays its initialization
     overhead).
+
+    ``metrics`` counts the call and times it under
+    ``hazard.expression_analyses`` / ``hazard.analysis_seconds``.
     """
+    start = _time.perf_counter() if metrics is not None else 0.0
     if names is None:
         names = sorted(expr.support())
     names = list(names)
@@ -179,6 +198,11 @@ def analyze_expression(
     )
     if exhaustive:
         analysis.ensure_verdicts()
+    if metrics is not None:
+        metrics.counter("hazard.expression_analyses").inc()
+        metrics.histogram("hazard.analysis_seconds").observe(
+            _time.perf_counter() - start
+        )
     return analysis
 
 

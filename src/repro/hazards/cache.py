@@ -94,7 +94,17 @@ class CacheStats:
 
 
 class HazardCache:
-    """Thread-safe memo store for hazard analyses and filter verdicts."""
+    """Thread-safe memo store for hazard analyses and filter verdicts.
+
+    ``bind_metrics`` optionally mirrors hit/miss counts into a
+    :class:`repro.obs.metrics.MetricsRegistry` under ``hazard_cache.*``
+    and forwards the registry into the analysis computations so cold
+    analyses land in ``hazard.analysis_seconds``.  Binding is a
+    whole-cache choice: the process-wide :func:`global_cache` is shared
+    by every concurrent mapping run, so bind it only in single-tenant
+    processes (the CLI does); per-run accounting belongs to
+    ``CoverStats``/``MappingResult.metrics``.
+    """
 
     def __init__(self) -> None:
         self._lock = threading.Lock()
@@ -102,6 +112,15 @@ class HazardCache:
         self._subsets: dict[tuple, bool] = {}
         self._transitions: dict[tuple, bool] = {}
         self.stats = CacheStats()
+        self.metrics = None
+
+    def bind_metrics(self, registry) -> None:
+        """Mirror this cache's activity into ``registry`` (None unbinds)."""
+        self.metrics = registry
+
+    def _count(self, name: str) -> None:
+        if self.metrics is not None:
+            self.metrics.counter("hazard_cache." + name).inc()
 
     # ------------------------------------------------------------------
     # Analyses
@@ -115,7 +134,9 @@ class HazardCache:
         """Memoized :func:`repro.hazards.analyzer.analyze_expression`."""
         key = ("expr", expr, tuple(names) if names is not None else None)
         return self._analysis(
-            key, lambda: analyze_expression(expr, names), exhaustive
+            key,
+            lambda: analyze_expression(expr, names, metrics=self.metrics),
+            exhaustive,
         )
 
     def cover_analysis(
@@ -131,7 +152,11 @@ class HazardCache:
             tuple((c.used, c.phase) for c in cover.cubes),
             tuple(names) if names is not None else None,
         )
-        return self._analysis(key, lambda: analyze_cover(cover, names), exhaustive)
+        return self._analysis(
+            key,
+            lambda: analyze_cover(cover, names, metrics=self.metrics),
+            exhaustive,
+        )
 
     def _analysis(self, key, compute, exhaustive) -> tuple[HazardAnalysis, bool]:
         with self._lock:
@@ -139,6 +164,7 @@ class HazardCache:
         if cached is not None:
             with self._lock:
                 self.stats.analysis_hits += 1
+            self._count("analysis_hits")
             if exhaustive:
                 cached.ensure_verdicts()
             return cached, True
@@ -150,6 +176,7 @@ class HazardCache:
             self.stats.analysis_misses += 1
             # First writer wins, so every caller shares one object.
             analysis = self._analyses.setdefault(key, analysis)
+        self._count("analysis_misses")
         return analysis, False
 
     # ------------------------------------------------------------------
@@ -169,11 +196,17 @@ class HazardCache:
         with self._lock:
             if key in self._transitions:
                 self.stats.transition_hits += 1
-                return self._transitions[key]
+                cached = (self._transitions[key],)
+            else:
+                cached = None
+        if cached is not None:
+            self._count("transition_hits")
+            return cached[0]
         value = transition_has_hazard(lsop, start, end)
         with self._lock:
             self.stats.transition_misses += 1
             self._transitions[key] = value
+        self._count("transition_misses")
         return value
 
     # ------------------------------------------------------------------
@@ -195,7 +228,12 @@ class HazardCache:
         with self._lock:
             if key in self._subsets:
                 self.stats.subset_hits += 1
-                return self._subsets[key], True
+                cached = (self._subsets[key],)
+            else:
+                cached = None
+        if cached is not None:
+            self._count("subset_hits")
+            return cached[0], True
 
         def check(lsop: LabeledSop, start: int, end: int) -> bool:
             # ``hazards_subset`` only ever replays on the target's lsop.
@@ -208,6 +246,7 @@ class HazardCache:
         with self._lock:
             self.stats.subset_misses += 1
             self._subsets[key] = value
+        self._count("subset_misses")
         return value, False
 
     # ------------------------------------------------------------------

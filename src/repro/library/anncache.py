@@ -244,13 +244,31 @@ def _analysis_from_data(data: dict) -> "HazardAnalysis":
 
 
 def load_annotations(
-    library: "Library", exhaustive: bool, cache_dir: Path
+    library: "Library", exhaustive: bool, cache_dir: Path, metrics=None
 ) -> Optional[AnnotationPayload]:
     """Read and validate a payload; corrupt or stale files are removed.
 
     Returns ``None`` on any miss — the caller rebuilds and re-stores, so
     a damaged cache silently repairs itself.
+
+    ``metrics`` (a :class:`repro.obs.metrics.MetricsRegistry`) receives
+    ``anncache.hits`` / ``anncache.misses`` counters and an
+    ``anncache.load_seconds`` histogram — the cold-vs-warm signal the
+    Table-2 trajectory in ``BENCH_mapping.json`` tracks.
     """
+    start = time.perf_counter()
+    payload = _load_annotations(library, exhaustive, cache_dir)
+    if metrics is not None:
+        metrics.counter("anncache.hits" if payload else "anncache.misses").inc()
+        metrics.histogram("anncache.load_seconds").observe(
+            time.perf_counter() - start
+        )
+    return payload
+
+
+def _load_annotations(
+    library: "Library", exhaustive: bool, cache_dir: Path
+) -> Optional[AnnotationPayload]:
     path = annotation_path(library, exhaustive, cache_dir)
     if not path.exists():
         return None
@@ -289,9 +307,28 @@ def load_annotations(
 
 
 def store_annotations(
+    library: "Library",
+    exhaustive: bool,
+    cold_elapsed: float,
+    cache_dir: Path,
+    metrics=None,
+) -> Path:
+    """Persist the library's current annotations (atomic replace).
+
+    ``metrics`` receives an ``anncache.store_seconds`` histogram.
+    """
+    start = time.perf_counter()
+    path = _store_annotations(library, exhaustive, cold_elapsed, cache_dir)
+    if metrics is not None:
+        metrics.histogram("anncache.store_seconds").observe(
+            time.perf_counter() - start
+        )
+    return path
+
+
+def _store_annotations(
     library: "Library", exhaustive: bool, cold_elapsed: float, cache_dir: Path
 ) -> Path:
-    """Persist the library's current annotations (atomic replace)."""
     path = annotation_path(library, exhaustive, cache_dir)
     path.parent.mkdir(parents=True, exist_ok=True)
     data = {

@@ -15,6 +15,7 @@ from dataclasses import dataclass, replace
 from typing import Iterable, Iterator, Optional, Sequence
 
 from ..boolean import truthtable as tt
+from ..obs.tracer import NULL_TRACER
 from . import anncache
 from .cell import LibraryCell
 
@@ -138,6 +139,8 @@ class Library:
         exhaustive: bool = True,
         cache_dir: anncache.CacheDir = None,
         refresh: bool = False,
+        tracer=None,
+        metrics=None,
     ) -> AnnotationReport:
         """Analyze every cell's BFF for logic hazards (section 3.2.1).
 
@@ -147,7 +150,37 @@ class Library:
         persisted after a cold pass, so the Table-2 initialization cost
         is paid once per library version.  ``refresh`` forces a cold
         re-analysis (and re-stores it).
+
+        ``tracer`` records the pass as an ``annotate_library`` span
+        whose ``source`` attribute distinguishes the cold analysis from
+        disk/memory replays; ``metrics`` (a
+        :class:`repro.obs.metrics.MetricsRegistry`) receives
+        ``annotate.*`` gauges and the ``anncache.*`` I/O timings.
         """
+        tracer = tracer or NULL_TRACER
+        with tracer.span("annotate_library", library=self.name) as span:
+            report = self._annotate_hazards(
+                exhaustive, cache_dir, refresh, metrics
+            )
+            span.set_attr(
+                source=report.source,
+                cells=report.cells,
+                hazardous=report.hazardous,
+            )
+        if metrics is not None:
+            metrics.gauge("annotate.seconds").set(report.elapsed)
+            metrics.gauge("annotate.source").set(report.source)
+            metrics.gauge("annotate.cells").set(report.cells)
+            metrics.gauge("annotate.hazardous").set(report.hazardous)
+        return report
+
+    def _annotate_hazards(
+        self,
+        exhaustive: bool,
+        cache_dir: anncache.CacheDir,
+        refresh: bool,
+        metrics=None,
+    ) -> AnnotationReport:
         if self.annotated and not refresh:
             if self._annotation_report is not None:
                 return replace(
@@ -158,7 +191,9 @@ class Library:
         resolved = anncache.resolve_cache_dir(cache_dir)
         payload = None
         if resolved is not None and not refresh:
-            payload = anncache.load_annotations(self, exhaustive, resolved)
+            payload = anncache.load_annotations(
+                self, exhaustive, resolved, metrics=metrics
+            )
 
         if payload is not None:
             for cell in self.cells:
@@ -183,6 +218,7 @@ class Library:
                         exhaustive,
                         time.perf_counter() - start,
                         resolved,
+                        metrics=metrics,
                     )
                 )
 

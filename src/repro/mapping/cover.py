@@ -19,6 +19,7 @@ from ..hazards.cache import HazardCache, global_cache
 from ..library.library import Library
 from ..network.netlist import Netlist
 from ..network.partition import Cone
+from ..obs.tracer import NULL_TRACER
 from .cuts import Cluster, cluster_expression, enumerate_clusters
 from .match import Match, match_cluster
 
@@ -36,6 +37,16 @@ class CoverStats:
     filter verdicts), total filter invocations, and per-cone wall time
     (``cones`` / ``cone_seconds``; ``cone_seconds`` sums per-cone work,
     so with parallel covering it exceeds wall-clock).
+
+    ``CoverStats`` is the thread-confined per-cone accumulator and the
+    backward-compatible view; the canonical run-level sink is a
+    :class:`repro.obs.metrics.MetricsRegistry` (``MappingResult.metrics``)
+    populated from the merged stats via :meth:`to_registry`.  The work
+    counters (everything but the timing field and the hit/miss *split*)
+    are deterministic for a given design/library and identical for any
+    worker count; the cache hit/miss split can shift between workers
+    when two threads race the same cold key, but each hit+miss *sum* is
+    stable (asserted in ``tests/mapping/test_stats_merge.py``).
     """
 
     clusters: int = 0
@@ -52,19 +63,28 @@ class CoverStats:
     cones: int = 0
     cone_seconds: float = 0.0
 
+    #: Integer work/cache counters, i.e. every field except the timing
+    #: sum ``cone_seconds``.  ``merge``, the registry bridges, and the
+    #: parallel-aggregation tests all iterate this one tuple so a new
+    #: counter cannot be silently left out of any of them.
+    COUNTER_FIELDS = (
+        "clusters",
+        "matches",
+        "hazardous_matches",
+        "hazard_rejections",
+        "hazard_accepts",
+        "dc_waivers",
+        "filter_invocations",
+        "analysis_cache_hits",
+        "analysis_cache_misses",
+        "subset_cache_hits",
+        "subset_cache_misses",
+        "cones",
+    )
+
     def merge(self, other: "CoverStats") -> None:
-        self.clusters += other.clusters
-        self.matches += other.matches
-        self.hazardous_matches += other.hazardous_matches
-        self.hazard_rejections += other.hazard_rejections
-        self.hazard_accepts += other.hazard_accepts
-        self.dc_waivers += other.dc_waivers
-        self.filter_invocations += other.filter_invocations
-        self.analysis_cache_hits += other.analysis_cache_hits
-        self.analysis_cache_misses += other.analysis_cache_misses
-        self.subset_cache_hits += other.subset_cache_hits
-        self.subset_cache_misses += other.subset_cache_misses
-        self.cones += other.cones
+        for name in self.COUNTER_FIELDS:
+            setattr(self, name, getattr(self, name) + getattr(other, name))
         self.cone_seconds += other.cone_seconds
 
     @property
@@ -74,6 +94,29 @@ class CoverStats:
     @property
     def cache_misses(self) -> int:
         return self.analysis_cache_misses + self.subset_cache_misses
+
+    # -- metrics-registry bridge ----------------------------------------
+    def to_registry(self, registry, prefix: str = "cover.") -> None:
+        """Publish these counters into a metrics registry (the canonical
+        run-level sink); equivalent to ``registry.absorb_cover_stats``."""
+        registry.absorb_cover_stats(self, prefix=prefix)
+
+    @classmethod
+    def from_registry(cls, registry, prefix: str = "cover.") -> "CoverStats":
+        """Reconstruct a stats view from ``cover.*`` registry counters.
+
+        The thin backward-compatibility window onto the registry: a
+        round trip through :meth:`to_registry` preserves every field.
+        """
+        stats = cls()
+        for name in cls.COUNTER_FIELDS:
+            metric = registry.get(prefix + name)
+            if metric is not None:
+                setattr(stats, name, int(metric.value))
+        metric = registry.get(prefix + "cone_seconds")
+        if metric is not None:
+            stats.cone_seconds = float(metric.value)
+        return stats
 
 
 @dataclass
@@ -109,6 +152,7 @@ def cover_cone(
     stats: Optional[CoverStats] = None,
     dont_cares=None,
     cache: Optional[HazardCache] = None,
+    tracer=None,
 ) -> ConeCover:
     """Find the best hazard-aware cover of one cone.
 
@@ -124,12 +168,26 @@ def cover_cone(
     process-wide :func:`repro.hazards.cache.global_cache` by default) so
     repeated structures — within a cone, across cones, and across whole
     mapping runs — hit warm results; hits/misses land in ``stats``.
+
+    ``tracer`` (a :class:`repro.obs.tracer.Tracer`) records the two
+    phases of the cone — cluster enumeration (section 3.1.3's candidate
+    generation) and the match/filter/cover DP — as child spans of
+    whatever span the caller has open; span granularity stays per-cone,
+    never per-match, so disabled tracing costs two no-op ``with``
+    blocks.
     """
     if stats is None:
         stats = CoverStats()
     if cache is None:
         cache = global_cache()
-    clusters = enumerate_clusters(netlist, cone, max_depth, max_inputs)
+    if tracer is None:
+        tracer = NULL_TRACER
+    with tracer.span("enumerate_clusters") as enum_span:
+        clusters = enumerate_clusters(netlist, cone, max_depth, max_inputs)
+        enum_span.set_attr(
+            nodes=len(clusters),
+            clusters=sum(len(v) for v in clusters.values()),
+        )
 
     # Per-cone memo: repeated hazardous matches on one cluster reuse the
     # analysis without rebuilding the expression or re-querying the
@@ -208,22 +266,28 @@ def cover_cone(
         return champion_cost
 
     # ``objective == "delay"`` reuses best_cost as best-arrival.
-    best_cost(cone.root)
+    with tracer.span("match_cover") as match_span:
+        best_cost(cone.root)
 
-    # Reconstruct the chosen selections from the root down.
-    cover = ConeCover(cone)
-    frontier = [cone.root]
-    visited: set[str] = set()
-    while frontier:
-        name = frontier.pop()
-        if name in visited or name in cone.leaves:
-            continue
-        visited.add(name)
-        selection = best[name][1]
-        if selection is None:
-            continue
-        cover.selections.append(selection)
-        frontier.extend(selection.cluster.leaves)
+        # Reconstruct the chosen selections from the root down.
+        cover = ConeCover(cone)
+        frontier = [cone.root]
+        visited: set[str] = set()
+        while frontier:
+            name = frontier.pop()
+            if name in visited or name in cone.leaves:
+                continue
+            visited.add(name)
+            selection = best[name][1]
+            if selection is None:
+                continue
+            cover.selections.append(selection)
+            frontier.extend(selection.cluster.leaves)
+        match_span.set_attr(
+            matches=stats.matches,
+            filter_invocations=stats.filter_invocations,
+            selections=len(cover.selections),
+        )
     return cover
 
 

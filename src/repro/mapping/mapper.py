@@ -33,6 +33,8 @@ from ..library.library import AnnotationReport, Library
 from ..network.decompose import async_tech_decomp, tech_decomp
 from ..network.netlist import Netlist
 from ..network.partition import Cone, partition
+from ..obs.metrics import MetricsRegistry
+from ..obs.tracer import NULL_TRACER, Tracer
 from .cover import ConeCover, CoverStats, cover_cone
 
 
@@ -56,6 +58,16 @@ class MappingOptions:
     one-time Table-2 annotation cost can be replayed from disk.  Pass
     :data:`repro.library.anncache.DISABLED` to bypass the cache even
     when the ``REPRO_ANNOTATION_CACHE`` environment toggle is set.
+
+    ``tracer`` (a :class:`repro.obs.tracer.Tracer`) records the run as
+    a hierarchical span tree — annotate → decompose → partition →
+    per-cone covering (cluster enumeration + match/cover) → netlist
+    build; ``None`` disables tracing at no measurable cost.  ``metrics``
+    supplies the :class:`repro.obs.metrics.MetricsRegistry` the run
+    publishes into; when ``None`` each result gets a private registry
+    (``MappingResult.metrics``).  Tracers and registries are plain
+    per-run objects — concurrent ``map_network`` calls with distinct
+    ones never share state.
     """
 
     max_depth: int = 5
@@ -66,6 +78,8 @@ class MappingOptions:
     input_bursts: Optional[list] = None
     workers: int = 1
     annotation_cache_dir: anncache.CacheDir = None
+    tracer: Optional[Tracer] = None
+    metrics: Optional[MetricsRegistry] = None
 
     def resolved_workers(self) -> int:
         if self.workers == 0:
@@ -89,6 +103,7 @@ class MappingResult:
     covers: list[ConeCover] = field(default_factory=list)
     annotation_report: Optional[AnnotationReport] = None
     workers: int = 1
+    metrics: MetricsRegistry = field(default_factory=MetricsRegistry)
 
     def cell_usage(self) -> dict[str, int]:
         return self.mapped.cell_usage()
@@ -113,12 +128,22 @@ def tmap(
     hence unsafe for fundamental-mode asynchronous designs (Figure 3).
     """
     options = options or MappingOptions()
+    tracer = options.tracer or NULL_TRACER
+    metrics = options.metrics if options.metrics is not None else MetricsRegistry()
     start = time.perf_counter()
-    decomposed = tech_decomp(network)
-    result = _map_decomposed(
-        network, decomposed, library, options, hazard_filter=False, mode="sync"
-    )
+    with tracer.span("tmap", design=network.name, library=library.name):
+        decomposed = tech_decomp(network, tracer=tracer)
+        result = _map_decomposed(
+            network,
+            decomposed,
+            library,
+            options,
+            hazard_filter=False,
+            mode="sync",
+            metrics=metrics,
+        )
     result.elapsed = time.perf_counter() - start
+    _finalize_metrics(result)
     return result
 
 
@@ -134,22 +159,34 @@ def async_tmap(
     logic hazard absent from the source (Theorem 3.2).
     """
     options = options or MappingOptions()
+    tracer = options.tracer or NULL_TRACER
+    metrics = options.metrics if options.metrics is not None else MetricsRegistry()
     start = time.perf_counter()
     annotate_elapsed = 0.0
     annotation_report = None
-    if not library.annotated:
-        annotation_report = library.annotate_hazards(
-            exhaustive=options.exhaustive_annotation,
-            cache_dir=options.annotation_cache_dir,
+    with tracer.span("async_tmap", design=network.name, library=library.name):
+        if not library.annotated:
+            annotation_report = library.annotate_hazards(
+                exhaustive=options.exhaustive_annotation,
+                cache_dir=options.annotation_cache_dir,
+                tracer=tracer,
+                metrics=metrics,
+            )
+            annotate_elapsed = annotation_report.elapsed
+        decomposed = async_tech_decomp(network, tracer=tracer)
+        result = _map_decomposed(
+            network,
+            decomposed,
+            library,
+            options,
+            hazard_filter=True,
+            mode="async",
+            metrics=metrics,
         )
-        annotate_elapsed = annotation_report.elapsed
-    decomposed = async_tech_decomp(network)
-    result = _map_decomposed(
-        network, decomposed, library, options, hazard_filter=True, mode="async"
-    )
     result.elapsed = time.perf_counter() - start
     result.annotate_elapsed = annotate_elapsed
     result.annotation_report = annotation_report
+    _finalize_metrics(result)
     return result
 
 
@@ -160,7 +197,12 @@ def _map_decomposed(
     options: MappingOptions,
     hazard_filter: bool,
     mode: str,
+    metrics: Optional[MetricsRegistry] = None,
 ) -> MappingResult:
+    if metrics is None:
+        metrics = (
+            options.metrics if options.metrics is not None else MetricsRegistry()
+        )
     if hazard_filter and not library.annotated:
         library.annotate_hazards(
             exhaustive=options.exhaustive_annotation,
@@ -174,36 +216,48 @@ def _map_decomposed(
     # Matching consults both indexes on every cluster; build them before
     # any covering (and before worker threads could race the lazy build).
     library.build_matching_indexes()
-    cones = partition(decomposed)
+    tracer = options.tracer or NULL_TRACER
+    cones = partition(decomposed, tracer=tracer)
     workers = options.resolved_workers()
+
+    # Cone spans parent to the covering span explicitly: with workers > 1
+    # they open on pool threads, where the thread-local stack is empty.
+    cover_span = tracer.start_span("cover", cones=len(cones), workers=workers)
 
     def cover_one(cone: Cone) -> tuple[ConeCover, CoverStats]:
         cone_stats = CoverStats()
         cone_start = time.perf_counter()
-        cover = cover_cone(
-            decomposed,
-            cone,
-            library,
-            max_depth=options.max_depth,
-            max_inputs=options.max_inputs,
-            objective=options.objective,
-            hazard_filter=hazard_filter,
-            filter_mode=options.filter_mode,
-            stats=cone_stats,
-            dont_cares=dont_cares,
-        )
+        with tracer.span(
+            "cone", parent=cover_span, key=cone.root, size=cone.size
+        ):
+            cover = cover_cone(
+                decomposed,
+                cone,
+                library,
+                max_depth=options.max_depth,
+                max_inputs=options.max_inputs,
+                objective=options.objective,
+                hazard_filter=hazard_filter,
+                filter_mode=options.filter_mode,
+                stats=cone_stats,
+                dont_cares=dont_cares,
+                tracer=tracer,
+            )
         cone_stats.cones = 1
         cone_stats.cone_seconds = time.perf_counter() - cone_start
         return cover, cone_stats
 
-    if workers > 1 and len(cones) > 1:
-        # Cones are independent and the hazard cache is thread-safe;
-        # pool.map preserves cone order, so the merged result is
-        # identical to the serial one.
-        with ThreadPoolExecutor(max_workers=workers) as pool:
-            outcomes = list(pool.map(cover_one, cones))
-    else:
-        outcomes = [cover_one(cone) for cone in cones]
+    try:
+        if workers > 1 and len(cones) > 1:
+            # Cones are independent and the hazard cache is thread-safe;
+            # pool.map preserves cone order, so the merged result is
+            # identical to the serial one.
+            with ThreadPoolExecutor(max_workers=workers) as pool:
+                outcomes = list(pool.map(cover_one, cones))
+        else:
+            outcomes = [cover_one(cone) for cone in cones]
+    finally:
+        tracer.finish_span(cover_span)
 
     stats = CoverStats()
     covers: list[ConeCover] = []
@@ -211,7 +265,9 @@ def _map_decomposed(
         covers.append(cover)
         stats.merge(cone_stats)
 
-    mapped = _build_mapped_netlist(source, decomposed, covers)
+    with tracer.span("build_netlist") as build_span:
+        mapped = _build_mapped_netlist(source, decomposed, covers)
+        build_span.set_attr(gates=len(mapped.nodes))
     result = MappingResult(
         mapped=mapped,
         source=source,
@@ -223,8 +279,23 @@ def _map_decomposed(
         stats=stats,
         covers=covers,
         workers=workers,
+        metrics=metrics,
     )
     return result
+
+
+def _finalize_metrics(result: MappingResult) -> None:
+    """Publish the run's quality/runtime accounting into its registry."""
+    registry = result.metrics
+    registry.absorb_cover_stats(result.stats)
+    registry.gauge("map.mode").set(result.mode)
+    registry.gauge("map.area").set(result.area)
+    registry.gauge("map.delay").set(result.delay)
+    registry.gauge("map.cells").set(sum(result.cell_usage().values()))
+    registry.gauge("map.cones").set(result.stats.cones)
+    registry.gauge("map.workers").set(result.workers)
+    registry.gauge("map.elapsed_seconds").set(result.elapsed)
+    registry.gauge("map.annotate_seconds").set(result.annotate_elapsed)
 
 
 def _build_mapped_netlist(

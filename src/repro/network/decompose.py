@@ -18,24 +18,46 @@ from typing import Optional
 
 from ..boolean.expr import And, Const, Expr, Lit, Not, Or, Var
 from ..boolean.minimize import simplify_for_sync
+from ..obs.tracer import NULL_TRACER
 from .netlist import Netlist, NetlistError
 
 
-def async_tech_decomp(netlist: Netlist, balanced: bool = True) -> Netlist:
-    """Hazard-preserving decomposition into AND2/OR2/INV nodes."""
-    return _decompose(netlist, simplify=False, balanced=balanced)
+def async_tech_decomp(
+    netlist: Netlist, balanced: bool = True, tracer=None
+) -> Netlist:
+    """Hazard-preserving decomposition into AND2/OR2/INV nodes.
+
+    ``tracer`` records the pass as a ``decompose`` span (mode, source
+    and emitted gate counts) under the caller's current span.
+    """
+    return _decompose(netlist, simplify=False, balanced=balanced, tracer=tracer)
 
 
-def tech_decomp(netlist: Netlist, balanced: bool = True) -> Netlist:
+def tech_decomp(netlist: Netlist, balanced: bool = True, tracer=None) -> Netlist:
     """Synchronous decomposition: simplification + same structuring.
 
     .. warning:: the simplification step may introduce static-1 hazards;
        appropriate only for the synchronous baseline mapper.
     """
-    return _decompose(netlist, simplify=True, balanced=balanced)
+    return _decompose(netlist, simplify=True, balanced=balanced, tracer=tracer)
 
 
-def _decompose(netlist: Netlist, simplify: bool, balanced: bool) -> Netlist:
+def _decompose(
+    netlist: Netlist, simplify: bool, balanced: bool, tracer=None
+) -> Netlist:
+    tracer = tracer or NULL_TRACER
+    with tracer.span(
+        "decompose", mode="sync" if simplify else "async"
+    ) as span:
+        result = _decompose_body(netlist, simplify, balanced)
+        span.set_attr(
+            source_gates=sum(1 for _ in netlist.gates()),
+            gates=sum(1 for _ in result.gates()),
+        )
+    return result
+
+
+def _decompose_body(netlist: Netlist, simplify: bool, balanced: bool) -> Netlist:
     netlist.validate()
     result = Netlist(netlist.name + ".decomposed")
     for pi in netlist.inputs:

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from ..obs.tracer import NULL_TRACER
 from .netlist import Netlist
 
 
@@ -31,13 +32,27 @@ class Cone:
         return len(self.members)
 
 
-def partition(netlist: Netlist) -> list[Cone]:
+def partition(netlist: Netlist, tracer=None) -> list[Cone]:
     """Split the network into cones at multi-fanout points.
 
     Cone roots are primary-output drivers and every gate whose fanout
     count exceeds one.  The returned list is in topological order of
     roots (leaves-first), which is the order the covering step wants.
+
+    ``tracer`` records the pass as a ``partition`` span carrying the
+    cone count and the largest cone size.
     """
+    tracer = tracer or NULL_TRACER
+    with tracer.span("partition") as span:
+        cones = _partition_body(netlist)
+        span.set_attr(
+            cones=len(cones),
+            largest=max((cone.size for cone in cones), default=0),
+        )
+    return cones
+
+
+def _partition_body(netlist: Netlist) -> list[Cone]:
     netlist.validate()
     fanouts = netlist.fanouts()
     output_drivers = {netlist.nodes[o].fanins[0] for o in netlist.outputs}

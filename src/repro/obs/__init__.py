@@ -1,0 +1,83 @@
+"""Observability for the mapping pipeline: tracing, metrics, export.
+
+The async mapper's production story ("map heavy traffic as fast as the
+hardware allows") needs the same instrumentation a serving stack would
+have.  This package supplies it without touching the hot path when
+disabled:
+
+* :class:`Tracer` / :data:`NULL_TRACER` — hierarchical, thread-safe
+  span trees over decompose → partition → cluster-enumerate →
+  match/filter → cover (``repro map --trace out.json``);
+* :class:`MetricsRegistry` — counters/gauges/histograms that absorb
+  the merged ``CoverStats`` counters and phase timings;
+* :mod:`repro.obs.export` — version-stamped JSON contracts for traces,
+  metrics, and the ``BENCH_mapping.json`` perf snapshots that
+  ``benchmarks/check_regression.py`` gates.
+"""
+
+from .export import (
+    BENCH_SCHEMA,
+    METRICS_SCHEMA,
+    TRACE_SCHEMA,
+    load_bench_snapshot,
+    metrics_to_dict,
+    trace_to_dict,
+    write_bench_snapshot,
+    write_metrics,
+    write_trace,
+)
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .regression import (
+    DEFAULT_MIN_SECONDS,
+    DEFAULT_TOLERANCE,
+    QUALITY_FIELDS,
+    compare_snapshots,
+)
+from .tracer import (
+    NULL_TRACER,
+    NullTracer,
+    Span,
+    Tracer,
+    span_shape,
+    trace_shape,
+)
+
+__all__ = [
+    "BENCH_SCHEMA",
+    "Counter",
+    "DEFAULT_MIN_SECONDS",
+    "DEFAULT_TOLERANCE",
+    "Gauge",
+    "Histogram",
+    "METRICS_SCHEMA",
+    "MetricsRegistry",
+    "NULL_TRACER",
+    "NullTracer",
+    "QUALITY_FIELDS",
+    "SMOKE_BENCHMARKS",
+    "Span",
+    "TRACE_SCHEMA",
+    "Tracer",
+    "compare_snapshots",
+    "load_bench_snapshot",
+    "metrics_to_dict",
+    "run_perf",
+    "span_shape",
+    "trace_shape",
+    "trace_to_dict",
+    "write_bench_snapshot",
+    "write_metrics",
+    "write_trace",
+]
+
+_LAZY = {"run_perf", "SMOKE_BENCHMARKS"}
+
+
+def __getattr__(name: str):
+    # ``perf`` imports the benchmark catalog and the mapper, which import
+    # this package for the tracer — loading it lazily breaks the cycle.
+    if name in _LAZY:
+        from . import perf
+
+        return getattr(perf, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,78 @@
+"""JSON export of traces, metrics, and benchmark snapshots.
+
+Three on-disk contracts live here, each version-stamped:
+
+* ``repro-trace/v1`` — a span forest (``Tracer.to_dict``) plus an
+  optional metrics snapshot, written by ``repro map --trace`` and
+  ``repro perf --trace``;
+* ``repro-metrics/v1`` — a standalone metrics snapshot;
+* ``repro-bench-mapping/v1`` — the ``BENCH_mapping.json`` benchmark
+  snapshot written by ``repro perf`` and diffed by
+  ``benchmarks/check_regression.py`` (schema documented in the README's
+  Observability section).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Optional, Union
+
+from .metrics import MetricsRegistry
+from .tracer import Tracer
+
+TRACE_SCHEMA = "repro-trace/v1"
+METRICS_SCHEMA = "repro-metrics/v1"
+BENCH_SCHEMA = "repro-bench-mapping/v1"
+
+
+def trace_to_dict(
+    tracer: Tracer, metrics: Optional[MetricsRegistry] = None
+) -> dict:
+    payload = tracer.to_dict()
+    if metrics is not None:
+        payload["metrics"] = metrics.snapshot()
+    return payload
+
+
+def write_trace(
+    path: Union[str, Path],
+    tracer: Tracer,
+    metrics: Optional[MetricsRegistry] = None,
+) -> Path:
+    """Write a trace (and optional metrics snapshot) as pretty JSON."""
+    path = Path(path)
+    path.write_text(json.dumps(trace_to_dict(tracer, metrics), indent=2) + "\n")
+    return path
+
+
+def metrics_to_dict(metrics: MetricsRegistry) -> dict:
+    return {"schema": METRICS_SCHEMA, "metrics": metrics.snapshot()}
+
+
+def write_metrics(path: Union[str, Path], metrics: MetricsRegistry) -> Path:
+    path = Path(path)
+    path.write_text(json.dumps(metrics_to_dict(metrics), indent=2) + "\n")
+    return path
+
+
+def write_bench_snapshot(path: Union[str, Path], snapshot: dict) -> Path:
+    """Write a ``repro-bench-mapping/v1`` snapshot (``repro perf``)."""
+    if snapshot.get("schema") != BENCH_SCHEMA:
+        raise ValueError(
+            f"benchmark snapshot must carry schema {BENCH_SCHEMA!r}"
+        )
+    path = Path(path)
+    path.write_text(json.dumps(snapshot, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def load_bench_snapshot(path: Union[str, Path]) -> dict:
+    """Load and schema-check a ``BENCH_mapping.json`` payload."""
+    with open(path) as handle:
+        snapshot = json.load(handle)
+    if snapshot.get("schema") != BENCH_SCHEMA:
+        raise ValueError(
+            f"{path}: schema {snapshot.get('schema')!r} is not {BENCH_SCHEMA!r}"
+        )
+    return snapshot

@@ -1,0 +1,114 @@
+"""The ``repro perf`` workload runner behind ``BENCH_mapping.json``.
+
+Replays the paper's Table-5 experiment — async-map every burst-mode
+benchmark onto one library — and records, per benchmark, the wall time,
+hazard-cache hit rates, mapped area/cell counts, and the
+``verify_mapping`` verdict.  The snapshot (schema
+``repro-bench-mapping/v1``) is what ``benchmarks/check_regression.py``
+diffs against the committed baseline: quality fields must match
+exactly; timings may drift within a tolerance.
+
+The library is annotated once up front (the Table-2 initialization
+cost, reported separately as ``annotate_seconds``) and the global
+hazard cache is cleared before each benchmark, so per-benchmark numbers
+are independent of catalog order.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Optional, Sequence
+
+from ..burstmode.benchmarks import TABLE5_ORDER, synthesize_benchmark
+from ..hazards.cache import clear_global_cache
+from ..library.library import Library
+from ..library.standard import load_library
+from ..mapping.mapper import MappingOptions, MappingResult, async_tmap
+from ..mapping.verify import verify_mapping
+from .export import BENCH_SCHEMA
+from .metrics import MetricsRegistry
+from .tracer import Tracer
+
+#: The two sub-second catalog entries — the CI smoke-gate workload.
+SMOKE_BENCHMARKS = ("chu-ad-opt", "vanbek-opt")
+
+
+def benchmark_entry(result: MappingResult, verify: bool) -> dict:
+    """One benchmark's snapshot row from its mapping result."""
+    stats = result.stats
+    total_lookups = stats.cache_hits + stats.cache_misses
+    entry = {
+        "map_seconds": round(result.elapsed, 4),
+        "area": result.area,
+        "delay": round(result.delay, 4),
+        "cells": int(sum(result.cell_usage().values())),
+        "cell_usage": {k: int(v) for k, v in sorted(result.cell_usage().items())},
+        "cones": stats.cones,
+        "matches": stats.matches,
+        "filter_invocations": stats.filter_invocations,
+        "cache": {
+            "hits": stats.cache_hits,
+            "misses": stats.cache_misses,
+            "hit_rate": round(stats.cache_hits / total_lookups, 4)
+            if total_lookups
+            else 0.0,
+        },
+    }
+    if verify:
+        report = verify_mapping(result.source, result.mapped)
+        entry["verify"] = {
+            "equivalent": bool(report.equivalent),
+            "hazard_safe": bool(report.hazard_safe),
+            "ok": bool(report.ok),
+        }
+    return entry
+
+
+def run_perf(
+    benchmarks: Optional[Sequence[str]] = None,
+    library: str | Library = "CMOS3",
+    workers: int = 1,
+    max_depth: int = 5,
+    verify: bool = True,
+    tracer: Optional[Tracer] = None,
+    metrics: Optional[MetricsRegistry] = None,
+    progress=None,
+) -> dict:
+    """Run the Table-5 workload and return a bench-snapshot dict.
+
+    ``progress`` is an optional ``callable(name, entry)`` invoked after
+    each benchmark (the CLI prints a row per call).
+    """
+    names = list(benchmarks) if benchmarks else list(TABLE5_ORDER)
+    lib = library if isinstance(library, Library) else load_library(library)
+
+    annotate_start = time.perf_counter()
+    report = lib.annotate_hazards(tracer=tracer, metrics=metrics)
+    annotate_seconds = time.perf_counter() - annotate_start
+
+    rows: dict[str, dict] = {}
+    for name in names:
+        network = synthesize_benchmark(name).netlist(name)
+        clear_global_cache()
+        options = MappingOptions(
+            max_depth=max_depth,
+            workers=workers,
+            tracer=tracer,
+            metrics=metrics,
+        )
+        result = async_tmap(network, lib, options)
+        entry = benchmark_entry(result, verify)
+        rows[name] = entry
+        if progress is not None:
+            progress(name, entry)
+    clear_global_cache()
+
+    return {
+        "schema": BENCH_SCHEMA,
+        "library": lib.name,
+        "workers": workers,
+        "max_depth": max_depth,
+        "annotate_seconds": round(annotate_seconds, 4),
+        "annotate_source": report.source,
+        "benchmarks": rows,
+    }

@@ -1,0 +1,89 @@
+"""CoverStats aggregation under parallel covering.
+
+Closes the accounting gap noted in the ``cone_seconds`` docstring: all
+*work* counters — and hence the metrics registry that absorbs them —
+must be identical for ``workers=1`` and ``workers=4``.  Timings are
+excluded (wall time is machine state), and hit/miss *splits* within one
+cache category are compared as sums: on a cold key two worker threads
+can both record a miss (the store is first-writer-wins), so the split
+is racy but each lookup still increments exactly one of the pair.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hazards.cache import clear_global_cache
+from repro.mapping.cover import CoverStats
+from repro.mapping.mapper import MappingOptions, async_tmap
+from repro.network.netlist import Netlist
+from repro.obs.metrics import MetricsRegistry
+
+# Two mux cones (hazardous MUX21 matches → filter + caches exercised)
+# plus two plain cones, so the pool genuinely interleaves work.
+EQUATIONS = {
+    "f": "s*a + s'*b",
+    "g": "t*c + t'*d",
+    "h": "a*b + c",
+    "k": "(a + b)*c'",
+}
+
+#: Deterministic regardless of worker count: pure work, no cache splits.
+WORK_FIELDS = (
+    "clusters",
+    "matches",
+    "hazardous_matches",
+    "hazard_rejections",
+    "hazard_accepts",
+    "dc_waivers",
+    "filter_invocations",
+    "cones",
+)
+
+
+def run(mini_library, workers: int) -> tuple[CoverStats, MetricsRegistry]:
+    clear_global_cache()
+    net = Netlist.from_equations(EQUATIONS)
+    result = async_tmap(net, mini_library, MappingOptions(workers=workers))
+    return result.stats, result.metrics
+
+
+class TestParallelStatsAggregation:
+    def test_work_counters_match_serial(self, mini_library):
+        serial, _ = run(mini_library, workers=1)
+        threaded, _ = run(mini_library, workers=4)
+        for name in WORK_FIELDS:
+            assert getattr(threaded, name) == getattr(serial, name), name
+        assert serial.hazardous_matches > 0  # the filter actually ran
+
+    def test_cache_lookup_totals_match_serial(self, mini_library):
+        serial, _ = run(mini_library, workers=1)
+        threaded, _ = run(mini_library, workers=4)
+        # Each lookup increments exactly one of (hits, misses); the
+        # split may differ under thread races, the sum may not.
+        assert (
+            threaded.analysis_cache_hits + threaded.analysis_cache_misses
+            == serial.analysis_cache_hits + serial.analysis_cache_misses
+        )
+        assert (
+            threaded.subset_cache_hits + threaded.subset_cache_misses
+            == serial.subset_cache_hits + serial.subset_cache_misses
+        )
+        assert serial.subset_cache_hits + serial.subset_cache_misses > 0
+
+    def test_registry_mirrors_merged_stats(self, mini_library):
+        for workers in (1, 4):
+            stats, registry = run(mini_library, workers)
+            back = CoverStats.from_registry(registry)
+            for name in CoverStats.COUNTER_FIELDS:
+                assert getattr(back, name) == getattr(stats, name), name
+            assert back.cone_seconds == pytest.approx(stats.cone_seconds)
+            assert registry.gauge("map.workers").value == workers
+
+    def test_cone_seconds_sums_per_cone_time(self, mini_library):
+        stats, _ = run(mini_library, workers=4)
+        # Four cones, each timed on its own thread; the merged value is
+        # the sum (CPU-style accounting), so it is at least positive and
+        # bounded by cones * the slowest cone — sanity, not wall time.
+        assert stats.cones == len(EQUATIONS)
+        assert stats.cone_seconds > 0.0

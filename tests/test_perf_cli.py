@@ -1,0 +1,170 @@
+"""End-to-end CLI coverage of the observability surface.
+
+Drives ``repro map --trace/--metrics`` and ``repro perf`` through
+``repro.cli.main`` in-process, then runs
+``benchmarks/check_regression.py`` (loaded from its file, exactly as CI
+invokes it) against the freshly written snapshot — accepting it
+unchanged and rejecting it under an injected 2× slowdown.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+from repro.hazards.cache import clear_global_cache
+from repro.obs.export import BENCH_SCHEMA
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SMOKE = ["chu-ad-opt", "vanbek-opt"]
+
+
+def load_check_regression():
+    spec = importlib.util.spec_from_file_location(
+        "check_regression", REPO_ROOT / "benchmarks" / "check_regression.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.fixture()
+def fresh_snapshot(tmp_path):
+    clear_global_cache()
+    out = tmp_path / "BENCH_mapping.json"
+    code = main(
+        ["perf", "--benchmarks", *SMOKE, "--output", str(out), "--no-verify"]
+    )
+    assert code == 0
+    return out
+
+
+class TestMapTrace:
+    def test_map_emits_valid_span_tree(self, tmp_path, capsys):
+        clear_global_cache()
+        trace_path = tmp_path / "out.json"
+        code = main(
+            [
+                "map",
+                "chu-ad-opt",
+                "CMOS3",
+                "--no-cache",
+                "--trace",
+                str(trace_path),
+                "--metrics",
+            ]
+        )
+        assert code == 0
+        payload = json.loads(trace_path.read_text())
+        assert payload["schema"] == "repro-trace/v1"
+        (root,) = payload["spans"]
+        assert root["name"] == "async_tmap"
+        assert root["end"] is not None
+
+        names = set()
+
+        def walk(span):
+            names.add(span["name"])
+            assert span["end"] is not None, f"span {span['name']} left open"
+            for child in span["children"]:
+                assert child["parent_id"] == span["span_id"]
+                walk(child)
+
+        walk(root)
+        # The acceptance contract: decompose/partition/match/cover all
+        # appear in the tree (matching happens inside match_cover).
+        assert {
+            "decompose",
+            "partition",
+            "cover",
+            "cone",
+            "enumerate_clusters",
+            "match_cover",
+            "build_netlist",
+        } <= names
+        assert "metrics" in payload
+        out = capsys.readouterr().out
+        assert "trace written" in out and "metrics:" in out
+
+    def test_perf_writes_schema_stamped_snapshot(self, fresh_snapshot):
+        snap = json.loads(fresh_snapshot.read_text())
+        assert snap["schema"] == BENCH_SCHEMA
+        assert sorted(snap["benchmarks"]) == sorted(SMOKE)
+        for row in snap["benchmarks"].values():
+            assert row["map_seconds"] >= 0
+            assert row["area"] > 0 and row["cells"] > 0
+            assert 0.0 <= row["cache"]["hit_rate"] <= 1.0
+
+    def test_perf_verify_records_verdicts(self, tmp_path):
+        clear_global_cache()
+        out = tmp_path / "snap.json"
+        code = main(
+            ["perf", "--benchmarks", "chu-ad-opt", "--output", str(out)]
+        )
+        assert code == 0
+        snap = json.loads(out.read_text())
+        verdict = snap["benchmarks"]["chu-ad-opt"]["verify"]
+        assert verdict == {"equivalent": True, "hazard_safe": True, "ok": True}
+
+
+class TestCheckRegressionScript:
+    def test_accepts_snapshot_against_itself(self, fresh_snapshot, capsys):
+        checker = load_check_regression()
+        code = checker.main(
+            [
+                "--baseline",
+                str(fresh_snapshot),
+                "--fresh",
+                str(fresh_snapshot),
+            ]
+        )
+        assert code == 0
+        assert "passed" in capsys.readouterr().out
+
+    def test_rejects_injected_double_slowdown(
+        self, fresh_snapshot, tmp_path, capsys
+    ):
+        snap = json.loads(fresh_snapshot.read_text())
+        for row in snap["benchmarks"].values():
+            row["map_seconds"] = row["map_seconds"] * 2 + 1.0
+        slow = tmp_path / "slow.json"
+        slow.write_text(json.dumps(snap))
+        checker = load_check_regression()
+        code = checker.main(
+            ["--baseline", str(fresh_snapshot), "--fresh", str(slow)]
+        )
+        assert code == 1
+        assert "map_seconds" in capsys.readouterr().out
+
+    def test_subset_mode_matches_committed_baseline_shape(
+        self, fresh_snapshot, tmp_path
+    ):
+        # The committed baseline covers the full catalog; a smoke run
+        # covers two benchmarks.  Subset mode bridges exactly that.
+        snap = json.loads(fresh_snapshot.read_text())
+        del snap["benchmarks"]["vanbek-opt"]
+        subset = tmp_path / "subset.json"
+        subset.write_text(json.dumps(snap))
+        checker = load_check_regression()
+        assert (
+            checker.main(
+                ["--baseline", str(fresh_snapshot), "--fresh", str(subset)]
+            )
+            == 1
+        )
+        assert (
+            checker.main(
+                [
+                    "--baseline",
+                    str(fresh_snapshot),
+                    "--fresh",
+                    str(subset),
+                    "--subset",
+                ]
+            )
+            == 0
+        )
