@@ -8,9 +8,18 @@ catalog and reports relative cost:
 
 * ``baseline``  — no tracer, no registry (post-instrumentation default);
 * ``metrics``   — a live ``MetricsRegistry`` (absorbed once per run);
-* ``traced``    — a live ``Tracer`` recording the full span tree.
+* ``traced``    — a live ``Tracer`` recording the full span tree;
+* ``explain``   — the full decision-provenance recorder
+  (``MappingOptions(explain=True)``), including witness extraction for
+  every hazard rejection.
 
-The 5% claim is asserted as a *note* in the emitted table, not as a
+The explain layer's own budget is stricter: <1% with explain *disabled*
+(the baseline row — its hot path is one ``explain is None`` check per
+match), which is what the per-match gating buys.  Enabled explain is
+allowed to cost real time; it does work proportional to the number of
+candidates examined.
+
+The claims are asserted as a *note* in the emitted table, not as a
 pytest assertion — wall-clock ratios on shared CI hardware are exactly
 the kind of flaky gate ``check_regression.py`` was designed to avoid.
 Run locally with::
@@ -37,14 +46,18 @@ WORKLOAD = ("dme-fast", "pe-send-ifc", "oscsi-ctrl", "abcs")
 REPEATS = 3
 
 
-def run_workload(annotated_libraries, tracer=None, metrics=None) -> float:
+def run_workload(
+    annotated_libraries, tracer=None, metrics=None, explain=False
+) -> float:
     library = annotated_libraries["CMOS3"]
     start = time.perf_counter()
     for name in WORKLOAD:
         clear_global_cache()
         net = synthesize_benchmark(name).netlist(name)
         async_tmap(
-            net, library, MappingOptions(tracer=tracer, metrics=metrics)
+            net,
+            library,
+            MappingOptions(tracer=tracer, metrics=metrics, explain=explain),
         )
     return time.perf_counter() - start
 
@@ -56,6 +69,7 @@ def test_observability_overhead(annotated_libraries):
             annotated_libraries, metrics=MetricsRegistry()
         ),
         "traced": lambda: run_workload(annotated_libraries, tracer=Tracer()),
+        "explain": lambda: run_workload(annotated_libraries, explain=True),
     }
     timings = {name: [] for name in configs}
     for _ in range(REPEATS):
@@ -70,11 +84,13 @@ def test_observability_overhead(annotated_libraries):
 
     note = (
         "Budget: disabled-path (baseline vs pre-instrumentation) overhead "
-        "<5%.  The baseline row IS the disabled path — all call sites\n"
-        "run against NULL_TRACER/no registry, adding one attribute check "
-        "per phase (never per match).  Enabled tracing stays cheap\n"
-        "because spans are per-phase/per-cone: a few dozen allocations "
-        "per run, orders below the covering work they time."
+        "<5%; explain-disabled overhead <1%.  The baseline row IS both\n"
+        "disabled paths — all call sites run against NULL_TRACER/no "
+        "registry, and the covering DP pays one `explain is None` check\n"
+        "per match.  Enabled tracing stays cheap because spans are "
+        "per-phase/per-cone; enabled explain does per-candidate work\n"
+        "(records plus witness extraction per hazard rejection), so its "
+        "row is expected to cost real time."
     )
     emit(
         "obs_overhead",

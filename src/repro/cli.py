@@ -3,10 +3,14 @@
 Commands mirror the paper's workflows:
 
 * ``census``  — Table-1-style hazard census of the standard libraries;
-* ``audit``   — per-cell hazard records of one library;
+* ``audit``   — per-cell hazard records of one library, each confirmed
+  by a replayed witness transition and cross-checked against the
+  exhaustive oracle;
 * ``map``     — map a benchmark (or an equation/BLIF file) onto a
   library with the sync or async mapper, optionally with hazard
   don't-cares, and verify the result;
+* ``explain`` — render the per-cone decision report of a
+  ``repro-explain/v1`` log (or map a catalog benchmark on the fly);
 * ``bench``   — list the benchmark catalog;
 * ``perf``    — replay the Table-5 workload and write the
   ``BENCH_mapping.json`` snapshot that
@@ -18,7 +22,9 @@ Commands mirror the paper's workflows:
 ``--workers`` for parallel cone covering.  ``map --trace out.json``
 records the run as a span tree (``repro-trace/v1``) and ``--metrics``
 prints the run's counter/gauge/histogram snapshot; both are also
-available on ``perf``.
+available on ``perf``.  ``map --explain [FILE]`` writes the
+witness-backed decision log (``repro-explain/v1``) that ``repro
+explain`` renders.
 """
 
 from __future__ import annotations
@@ -33,7 +39,13 @@ from .library.standard import ALL_LIBRARIES, load_library
 from .mapping.dontcare import synthesis_bursts
 from .mapping.mapper import MappingOptions, async_tmap, tmap
 from .mapping.verify import verify_mapping
-from .obs.export import write_bench_snapshot, write_trace
+from .obs.explain import render_explain, validate_explain_payload
+from .obs.export import (
+    load_explain,
+    write_bench_snapshot,
+    write_explain,
+    write_trace,
+)
 from .obs.metrics import MetricsRegistry
 from .obs.perf import run_perf
 from .obs.tracer import Tracer
@@ -67,17 +79,44 @@ def _cmd_census(args: argparse.Namespace) -> int:
 
 
 def _cmd_audit(args: argparse.Namespace) -> int:
+    from .hazards.oracle import classify_transition
+    from .hazards.witness import analysis_witnesses, replay_witness
+
     library = load_library(args.library)
     report = library.annotate_hazards()
     print(
         f"{library.name}: {report.cells} cells, {report.hazardous} hazardous "
         f"({report.hazardous_fraction:.0%}), annotated in {report.elapsed:.2f}s"
     )
+    mismatches = 0
     for cell in library.hazardous_cells():
         assert cell.analysis is not None
         print(f"\n{cell.name}: {cell.expression.to_string()}")
         for line in cell.analysis.describe():
             print(f"  {line}")
+        # One concrete witness per hazard class: replay it on the event
+        # simulator AND cross-check the exhaustive oracle's verdict for
+        # the same transition, so the audit is evidence, not assertion.
+        for record, witness in analysis_witnesses(cell.analysis, per_class=1):
+            replay = replay_witness(cell.analysis.lsop, witness)
+            verdict = classify_transition(
+                cell.analysis.lsop, witness.start, witness.end
+            )
+            confirmed = replay.glitched and verdict.logic_hazard
+            status = "confirmed" if confirmed else "MISMATCH"
+            if not confirmed:
+                mismatches += 1
+            print(
+                f"  witness [{witness.kind}] {witness.transition_string()}: "
+                f"{replay.changes} output change(s), expected "
+                f"{replay.expected} — eventsim "
+                f"{'glitched' if replay.glitched else 'clean'}, oracle "
+                f"{'hazard' if verdict.logic_hazard else 'clean'} "
+                f"({status})"
+            )
+    if mismatches:
+        print(f"\n{mismatches} witness(es) FAILED cross-check", file=sys.stderr)
+        return 1
     return 0
 
 
@@ -137,6 +176,7 @@ def _cmd_map(args: argparse.Namespace) -> int:
         annotation_cache_dir=cache_dir,
         tracer=tracer,
         metrics=metrics,
+        explain=args.explain is not None,
     )
     if args.dont_cares:
         if synthesis is None:
@@ -184,6 +224,18 @@ def _cmd_map(args: argparse.Namespace) -> int:
         tracer.assert_well_formed()
         write_trace(args.trace, tracer, metrics=result.metrics)
         print(f"trace written to {args.trace}")
+    if args.explain is not None:
+        assert result.explain is not None
+        explain_path = args.explain or f"{network.name}_explain.json"
+        write_explain(explain_path, result.explain)
+        summary = result.explain.summary()
+        print(
+            f"explain: {summary['candidates']} decisions over "
+            f"{summary['cones']} cones "
+            f"({summary['rejected_hazard']} hazard-rejected, "
+            f"{summary['waived_dont_care']} waived) "
+            f"written to {explain_path}"
+        )
     if args.metrics:
         print("metrics:")
         for line in _format_metrics(result.metrics):
@@ -204,6 +256,41 @@ def _cmd_map(args: argparse.Namespace) -> int:
         with open(args.output, "w") as handle:
             write_blif(result.mapped, handle)
         print(f"mapped network written to {args.output}")
+    return 0
+
+
+def _cmd_explain(args: argparse.Namespace) -> int:
+    import os
+
+    if os.path.exists(args.source):
+        payload = load_explain(args.source)
+    elif args.source in CATALOG:
+        synthesis = synthesize_benchmark(args.source)
+        network = synthesis.netlist(args.source)
+        library = load_library(args.library)
+        result = async_tmap(
+            network, library, MappingOptions(explain=True)
+        )
+        assert result.explain is not None
+        payload = result.explain.to_dict()
+    else:
+        print(
+            f"{args.source}: not an explain JSON file or catalog benchmark",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        validate_explain_payload(payload)
+    except ValueError as exc:
+        print(f"invalid explain payload: {exc}", file=sys.stderr)
+        return 1
+    for line in render_explain(
+        payload,
+        cone=args.cone,
+        limit=args.limit,
+        rejected_only=args.rejected_only,
+    ):
+        print(line)
     return 0
 
 
@@ -341,7 +428,42 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print the run's metrics snapshot",
     )
+    map_cmd.add_argument(
+        "--explain",
+        metavar="FILE",
+        nargs="?",
+        const="",
+        default=None,
+        help="record every covering decision as a repro-explain/v1 log "
+        "(default FILE: <design>_explain.json)",
+    )
     map_cmd.set_defaults(func=_cmd_map)
+
+    explain_cmd = sub.add_parser(
+        "explain",
+        help="render the per-cone decision report of an explain log",
+    )
+    explain_cmd.add_argument(
+        "source",
+        help="a repro-explain/v1 JSON file, or a catalog benchmark "
+        "to map on the fly",
+    )
+    explain_cmd.add_argument(
+        "--library",
+        choices=sorted(ALL_LIBRARIES),
+        default="CMOS3",
+        help="library for on-the-fly mapping (default: CMOS3)",
+    )
+    explain_cmd.add_argument("--cone", help="restrict to one cone root")
+    explain_cmd.add_argument(
+        "--limit", type=int, help="cap candidate lines per cone"
+    )
+    explain_cmd.add_argument(
+        "--rejected-only",
+        action="store_true",
+        help="show only hazard-rejected candidates",
+    )
+    explain_cmd.set_defaults(func=_cmd_explain)
 
     perf = sub.add_parser(
         "perf",

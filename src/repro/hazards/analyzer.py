@@ -24,7 +24,10 @@ from __future__ import annotations
 
 import time as _time
 from dataclasses import dataclass, field
-from typing import Callable, Optional, Sequence
+from typing import TYPE_CHECKING, Callable, Optional, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .witness import HazardWitness
 
 from ..boolean.cover import Cover
 from ..boolean.expr import Expr
@@ -303,6 +306,116 @@ def _paper_filter(
         if not transition_check(target.lsop, mapped.start, mapped.end):
             return False
     return True
+
+
+@dataclass(frozen=True)
+class SubsetViolation:
+    """Why :func:`hazards_subset` said no, with evidence.
+
+    ``witness`` is a cell-space :class:`repro.hazards.witness
+    .HazardWitness` demonstrating the offending hazard on the cell's own
+    implementation; ``target_start``/``target_end`` is the same
+    transition transported through the pin binding into the subnetwork's
+    variable space — where the replacement target does *not* glitch,
+    which is exactly what makes the cell unsafe there.
+    """
+
+    kind: str
+    detail: str
+    witness: Optional["HazardWitness"]
+    target_start: int
+    target_end: int
+
+
+def find_subset_violation(
+    cell: HazardAnalysis,
+    target: HazardAnalysis,
+    mapping: Optional[Sequence[int]] = None,
+    mode: str = "exact",
+    transition_check: TransitionCheck = transition_has_hazard,
+) -> Optional[SubsetViolation]:
+    """First hazard of ``cell`` that ``target`` does not share.
+
+    The provenance twin of :func:`hazards_subset`: same walk, same
+    modes, but instead of a verdict it returns the offending hazard —
+    ``None`` iff the filter would accept.  Pure and deterministic (the
+    record lists and verdicts are in fixed order), so the explain layer
+    gets identical reasons for any worker count.
+    """
+    from .witness import witness_for_verdict
+
+    if mapping is None:
+        mapping = list(range(cell.nvars))
+    mapping = list(mapping)
+    if mode == "exact":
+        verdicts = cell.ensure_verdicts()
+        if verdicts is not None:
+            for verdict in verdicts:
+                start = _map_point(verdict.start, mapping, cell.nvars)
+                end = _map_point(verdict.end, mapping, cell.nvars)
+                if not transition_check(target.lsop, start, end):
+                    witness = witness_for_verdict(verdict, cell)
+                    return SubsetViolation(
+                        witness.kind, witness.detail, witness, start, end
+                    )
+            return None
+        # Too large to enumerate — fall through to the record walk.
+    return _paper_violation(cell, target, mapping, transition_check)
+
+
+def _paper_violation(
+    cell: HazardAnalysis,
+    target: HazardAnalysis,
+    mapping: list[int],
+    transition_check: TransitionCheck = transition_has_hazard,
+) -> Optional[SubsetViolation]:
+    """Record-list walk mirroring :func:`_paper_filter`, returning the
+    first offending record instead of a bare verdict."""
+    from .witness import witness_for_record
+
+    nvars = target.nvars
+
+    def violation_from(record) -> SubsetViolation:
+        witness = witness_for_record(record, cell)
+        if witness is not None:
+            start = _map_point(witness.start, mapping, cell.nvars)
+            end = _map_point(witness.end, mapping, cell.nvars)
+        else:  # no spanning transition (degenerate record) — still report
+            start = end = 0
+        kind = witness.kind if witness is not None else "unknown"
+        return SubsetViolation(
+            kind, record.describe(cell.names), witness, start, end
+        )
+
+    # Static-1: a target cube not held by one mapped cell cube means the
+    # cell is hazardous over that subcube where the target is safe; map
+    # the cube back through the (injective) binding to name the cell's
+    # own hazard record.
+    mapped_cell_cover = cell.plain.remap(mapping, nvars)
+    inverse = [0] * nvars
+    for i, m in enumerate(mapping):
+        inverse[m] = i
+    for cube in target.plain.dedup():
+        if not mapped_cell_cover.single_cube_contains(cube):
+            return violation_from(Static1Hazard(cube.remap(inverse, cell.nvars)))
+
+    for s0 in cell.static0:
+        mapped = s0.remap(mapping, nvars)
+        if not _condition_exhibited(
+            target.static0, mapped.var, mapped.condition, nvars
+        ):
+            return violation_from(s0)
+    for sic in cell.sic_dynamic:
+        mapped = sic.remap(mapping, nvars)
+        if not _condition_exhibited(
+            target.sic_dynamic, mapped.var, mapped.condition, nvars
+        ):
+            return violation_from(sic)
+    for dyn in cell.mic_dynamic:
+        mapped = dyn.remap(mapping, nvars)
+        if not transition_check(target.lsop, mapped.start, mapped.end):
+            return violation_from(dyn)
+    return None
 
 
 def static1_census(cover: Cover) -> list[Static1Hazard]:

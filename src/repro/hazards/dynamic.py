@@ -116,3 +116,14 @@ def find_mic_dyn_haz_2level(cover: Cover) -> list[MicDynamicHazard]:
 def has_mic_dynamic_hazard(cover: Cover) -> bool:
     """Existence predicate via the efficient procedure."""
     return bool(find_mic_dyn_haz_2level(cover))
+
+
+def witness_transitions(hazard: MicDynamicHazard):
+    """Candidate witness bursts for one m.i.c. dynamic hazard record.
+
+    The record *is* a transition pair (validated against Theorem 4.1
+    when it was emitted); the same record also certifies the reverse
+    burst, so both orientations are offered.
+    """
+    yield hazard.start, hazard.end
+    yield hazard.end, hazard.start

@@ -85,6 +85,26 @@ def find_sic_dynamic_hazards(lsop: LabeledSop) -> list[SicDynamicHazard]:
     return hazards
 
 
+def witness_transitions(hazard: SicDynamicHazard):
+    """Candidate witness bursts for one s.i.c. dynamic hazard record.
+
+    Each confirmed point of ``condition`` certifies a dynamic transition
+    of the reconverging variable in at least one direction (the detector
+    replays both); both orientations are offered and the caller keeps
+    whichever the event lattice confirms.
+    """
+    bit = 1 << hazard.var
+    seen: set[int] = set()
+    for cube in hazard.condition:
+        for point in cube.minterms():
+            low = point & ~bit
+            if low in seen:
+                continue
+            seen.add(low)
+            yield low, low | bit
+            yield low | bit, low
+
+
 def exhibits_sic_dynamic(lsop: LabeledSop, var: int, condition: Cover) -> bool:
     """Matching-filter predicate: can the implementation pulse during a
     dynamic s.i.c. of ``var`` at every point of ``condition``?"""

@@ -95,6 +95,25 @@ def find_static0_hazards(lsop: LabeledSop) -> list[Static0Hazard]:
     return hazards
 
 
+def witness_transitions(hazard: Static0Hazard):
+    """Candidate witness bursts for one static-0 hazard record.
+
+    Every confirmed point of ``condition`` certifies the low→high burst
+    of the reconverging variable (the direction the detector replayed on
+    the event lattice): the vacuous term pulses while the output should
+    rest at 0.
+    """
+    bit = 1 << hazard.var
+    seen: set[int] = set()
+    for cube in hazard.condition:
+        for point in cube.minterms():
+            low = point & ~bit
+            if low in seen:
+                continue
+            seen.add(low)
+            yield low, low | bit
+
+
 def exhibits_static0(lsop: LabeledSop, var: int, condition: Cover) -> bool:
     """Does the implementation glitch low→high→low at *every* point of
     ``condition`` while ``var`` changes?

@@ -111,6 +111,22 @@ def exhibits_static1(cover: Cover, transition: Cube) -> bool:
     return not cover.single_cube_contains(transition)
 
 
+def witness_transitions(hazard: Static1Hazard):
+    """Candidate witness bursts for one static-1 hazard record.
+
+    The burst spanning the whole hazardous ON-subcube (all free
+    variables of the transition cube change at once) is the canonical
+    exhibit: during it every implementation cube can be momentarily off.
+    A point-sized cube spans no transition and yields nothing.
+    """
+    cube = hazard.transition
+    free = cube.free_vars
+    if not free:
+        return
+    yield cube.phase, cube.phase | free
+    yield cube.phase | free, cube.phase
+
+
 def static1_subset(inner: Cover, outer: Cover) -> bool:
     """Are ``inner``'s static-1 hazards a subset of ``outer``'s?
 

@@ -14,11 +14,18 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional
 
-from ..hazards.analyzer import HazardAnalysis
+from ..hazards.analyzer import HazardAnalysis, find_subset_violation
 from ..hazards.cache import HazardCache, global_cache
 from ..library.library import Library
 from ..network.netlist import Netlist
 from ..network.partition import Cone
+from ..obs.explain import (
+    ACCEPTED,
+    REJECTED_COST,
+    REJECTED_HAZARD,
+    WAIVED_DONT_CARE,
+    violation_reason,
+)
 from ..obs.tracer import NULL_TRACER
 from .cuts import Cluster, cluster_expression, enumerate_clusters
 from .match import Match, match_cluster
@@ -153,6 +160,7 @@ def cover_cone(
     dont_cares=None,
     cache: Optional[HazardCache] = None,
     tracer=None,
+    explain=None,
 ) -> ConeCover:
     """Find the best hazard-aware cover of one cone.
 
@@ -175,6 +183,13 @@ def cover_cone(
     whatever span the caller has open; span granularity stays per-cone,
     never per-match, so disabled tracing costs two no-op ``with``
     blocks.
+
+    ``explain`` (a :class:`repro.obs.explain.ConeExplain`) records every
+    (cluster, cell) candidate with its outcome and, for hazard
+    rejections, the offending hazard plus a concrete replayable witness
+    (via :func:`repro.hazards.analyzer.find_subset_violation`).  The
+    recorder is thread-confined like ``stats``; with ``explain=None``
+    (the default) the hot path pays one ``is None`` check per match.
     """
     if stats is None:
         stats = CoverStats()
@@ -210,6 +225,7 @@ def cover_cone(
     best: dict[str, tuple[float, Optional[Selection]]] = {
         leaf: (0.0, None) for leaf in cone.leaves
     }
+    champion_records: dict[str, object] = {}
 
     def best_cost(name: str) -> float:
         if name in best:
@@ -218,11 +234,17 @@ def cover_cone(
         stats.clusters += len(node_clusters)
         champion: Optional[Selection] = None
         champion_cost = float("inf")
+        champion_record = None
         for cluster in node_clusters:
             expr = cluster_expression(netlist, cluster)
             matches = match_cluster(library, expr, cluster.leaves)
             for match in matches:
                 stats.matches += 1
+                record = (
+                    explain.candidate(name, cluster, match)
+                    if explain is not None
+                    else None
+                )
                 if hazard_filter and match.cell.is_hazardous:
                     stats.hazardous_matches += 1
                     analysis = cluster_analysis(cluster, expr)
@@ -238,12 +260,22 @@ def cover_cone(
                         stats.subset_cache_hits += 1
                     else:
                         stats.subset_cache_misses += 1
+                    waived = False
                     if not accepted and dont_cares is not None:
                         accepted = _accept_with_dont_cares(
                             dont_cares, match, cluster, analysis, stats, cache
                         )
+                        waived = accepted
+                    if record is not None:
+                        record.hazardous = True
+                        record.screened = True
+                        record.waived = waived
                     if not accepted:
                         stats.hazard_rejections += 1
+                        if record is not None:
+                            _record_rejection(
+                                record, match, analysis, filter_mode
+                            )
                         continue
                     stats.hazard_accepts += 1
                 leaf_cost = sum(best_cost(leaf) for leaf in cluster.leaves)
@@ -254,15 +286,26 @@ def cover_cone(
                     total = own
                 else:
                     total = match.cell.area + leaf_cost
+                if record is not None:
+                    record.cost = total
                 if total < champion_cost:
                     champion_cost = total
                     champion = Selection(cluster, match, total)
+                    if record is not None:
+                        if champion_record is not None:
+                            champion_record.outcome = REJECTED_COST
+                        record.outcome = (
+                            WAIVED_DONT_CARE if record.waived else ACCEPTED
+                        )
+                        champion_record = record
         if champion is None:
             raise MappingError(
                 f"no library match covers node {name!r} "
                 f"(library {library.name!r}; is the base-gate set present?)"
             )
         best[name] = (champion_cost, champion)
+        if champion_record is not None:
+            champion_records[name] = champion_record
         return champion_cost
 
     # ``objective == "delay"`` reuses best_cost as best-arrival.
@@ -282,6 +325,9 @@ def cover_cone(
             if selection is None:
                 continue
             cover.selections.append(selection)
+            chosen = champion_records.get(name)
+            if chosen is not None:
+                chosen.selected = True
             frontier.extend(selection.cluster.leaves)
         match_span.set_attr(
             matches=stats.matches,
@@ -289,6 +335,25 @@ def cover_cone(
             selections=len(cover.selections),
         )
     return cover
+
+
+def _record_rejection(record, match, analysis, filter_mode: str) -> None:
+    """Attach the offending hazard + witness to a rejected candidate.
+
+    Runs only on actual rejections with explain enabled, so it can
+    afford the uncached :func:`find_subset_violation` walk — a pure
+    function of (cell, cluster, binding), hence identical for any worker
+    count or cache state.
+    """
+    record.outcome = REJECTED_HAZARD
+    violation = find_subset_violation(
+        match.cell.analysis,
+        analysis,
+        mapping=list(match.binding),
+        mode=filter_mode,
+    )
+    if violation is not None:
+        record.reason = violation_reason(violation, analysis.names)
 
 
 def _accept_with_dont_cares(

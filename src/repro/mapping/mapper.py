@@ -33,6 +33,7 @@ from ..library.library import AnnotationReport, Library
 from ..network.decompose import async_tech_decomp, tech_decomp
 from ..network.netlist import Netlist
 from ..network.partition import Cone, partition
+from ..obs.explain import ConeExplain, ExplainLog
 from ..obs.metrics import MetricsRegistry
 from ..obs.tracer import NULL_TRACER, Tracer
 from .cover import ConeCover, CoverStats, cover_cone
@@ -68,6 +69,14 @@ class MappingOptions:
     (``MappingResult.metrics``).  Tracers and registries are plain
     per-run objects — concurrent ``map_network`` calls with distinct
     ones never share state.
+
+    ``explain`` records decision-level provenance: every (cluster, cell)
+    candidate the covering DP examined, with its outcome and — for
+    hazard rejections — the offending §4 hazard plus a replayable
+    witness transition (``MappingResult.explain``, an
+    :class:`repro.obs.explain.ExplainLog`).  Per-cone recorders are
+    merged in cone order, so the log is identical for any ``workers``
+    value; disabled, the hot path pays one ``is None`` check per match.
     """
 
     max_depth: int = 5
@@ -80,6 +89,7 @@ class MappingOptions:
     annotation_cache_dir: anncache.CacheDir = None
     tracer: Optional[Tracer] = None
     metrics: Optional[MetricsRegistry] = None
+    explain: bool = False
 
     def resolved_workers(self) -> int:
         if self.workers == 0:
@@ -104,6 +114,7 @@ class MappingResult:
     annotation_report: Optional[AnnotationReport] = None
     workers: int = 1
     metrics: MetricsRegistry = field(default_factory=MetricsRegistry)
+    explain: Optional[ExplainLog] = None
 
     def cell_usage(self) -> dict[str, int]:
         return self.mapped.cell_usage()
@@ -224,8 +235,12 @@ def _map_decomposed(
     # they open on pool threads, where the thread-local stack is empty.
     cover_span = tracer.start_span("cover", cones=len(cones), workers=workers)
 
-    def cover_one(cone: Cone) -> tuple[ConeCover, CoverStats]:
+    def cover_one(
+        cone: Cone,
+    ) -> tuple[ConeCover, CoverStats, Optional[ConeExplain]]:
         cone_stats = CoverStats()
+        # Thread-confined like cone_stats; merged in cone order below.
+        cone_explain = ConeExplain(cone.root) if options.explain else None
         cone_start = time.perf_counter()
         with tracer.span(
             "cone", parent=cover_span, key=cone.root, size=cone.size
@@ -242,10 +257,11 @@ def _map_decomposed(
                 stats=cone_stats,
                 dont_cares=dont_cares,
                 tracer=tracer,
+                explain=cone_explain,
             )
         cone_stats.cones = 1
         cone_stats.cone_seconds = time.perf_counter() - cone_start
-        return cover, cone_stats
+        return cover, cone_stats, cone_explain
 
     try:
         if workers > 1 and len(cones) > 1:
@@ -261,9 +277,21 @@ def _map_decomposed(
 
     stats = CoverStats()
     covers: list[ConeCover] = []
-    for cover, cone_stats in outcomes:
+    explain_log: Optional[ExplainLog] = None
+    if options.explain:
+        explain_log = ExplainLog(
+            design=source.name,
+            library=library.name,
+            mode=mode,
+            filter_mode=options.filter_mode,
+            objective=options.objective,
+            workers=workers,
+        )
+    for cover, cone_stats, cone_explain in outcomes:
         covers.append(cover)
         stats.merge(cone_stats)
+        if explain_log is not None and cone_explain is not None:
+            explain_log.add_cone(cone_explain)
 
     with tracer.span("build_netlist") as build_span:
         mapped = _build_mapped_netlist(source, decomposed, covers)
@@ -280,6 +308,7 @@ def _map_decomposed(
         covers=covers,
         workers=workers,
         metrics=metrics,
+        explain=explain_log,
     )
     return result
 
@@ -296,6 +325,8 @@ def _finalize_metrics(result: MappingResult) -> None:
     registry.gauge("map.workers").set(result.workers)
     registry.gauge("map.elapsed_seconds").set(result.elapsed)
     registry.gauge("map.annotate_seconds").set(result.annotate_elapsed)
+    if result.explain is not None:
+        result.explain.publish_metrics(registry)
 
 
 def _build_mapped_netlist(

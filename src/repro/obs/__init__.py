@@ -12,17 +12,33 @@ disabled:
   the merged ``CoverStats`` counters and phase timings;
 * :mod:`repro.obs.export` — version-stamped JSON contracts for traces,
   metrics, and the ``BENCH_mapping.json`` perf snapshots that
-  ``benchmarks/check_regression.py`` gates.
+  ``benchmarks/check_regression.py`` gates;
+* :mod:`repro.obs.explain` — the witness-backed decision log behind
+  ``repro map --explain`` / ``repro explain``: every (cluster, cell)
+  candidate the covering DP examined, with hazard rejections carrying a
+  replayable :class:`~repro.hazards.witness.HazardWitness`.
 """
 
+from .explain import (
+    EXPLAIN_SCHEMA,
+    CandidateRecord,
+    ConeExplain,
+    ExplainLog,
+    render_explain,
+    validate_explain_payload,
+    verify_explain_witnesses,
+)
 from .export import (
     BENCH_SCHEMA,
     METRICS_SCHEMA,
     TRACE_SCHEMA,
+    explain_to_dict,
     load_bench_snapshot,
+    load_explain,
     metrics_to_dict,
     trace_to_dict,
     write_bench_snapshot,
+    write_explain,
     write_metrics,
     write_trace,
 )
@@ -44,9 +60,13 @@ from .tracer import (
 
 __all__ = [
     "BENCH_SCHEMA",
+    "CandidateRecord",
+    "ConeExplain",
     "Counter",
     "DEFAULT_MIN_SECONDS",
     "DEFAULT_TOLERANCE",
+    "EXPLAIN_SCHEMA",
+    "ExplainLog",
     "Gauge",
     "Histogram",
     "METRICS_SCHEMA",
@@ -59,13 +79,19 @@ __all__ = [
     "TRACE_SCHEMA",
     "Tracer",
     "compare_snapshots",
+    "explain_to_dict",
     "load_bench_snapshot",
+    "load_explain",
     "metrics_to_dict",
+    "render_explain",
     "run_perf",
     "span_shape",
     "trace_shape",
     "trace_to_dict",
+    "validate_explain_payload",
+    "verify_explain_witnesses",
     "write_bench_snapshot",
+    "write_explain",
     "write_metrics",
     "write_trace",
 ]

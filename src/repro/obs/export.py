@@ -9,7 +9,10 @@ Three on-disk contracts live here, each version-stamped:
 * ``repro-bench-mapping/v1`` — the ``BENCH_mapping.json`` benchmark
   snapshot written by ``repro perf`` and diffed by
   ``benchmarks/check_regression.py`` (schema documented in the README's
-  Observability section).
+  Observability section);
+* ``repro-explain/v1`` — the witness-backed mapping decision log
+  written by ``repro map --explain`` and rendered by ``repro explain``
+  (schema owned by :mod:`repro.obs.explain`).
 """
 
 from __future__ import annotations
@@ -18,6 +21,7 @@ import json
 from pathlib import Path
 from typing import Optional, Union
 
+from .explain import EXPLAIN_SCHEMA, ExplainLog, validate_explain_payload
 from .metrics import MetricsRegistry
 from .tracer import Tracer
 
@@ -76,3 +80,40 @@ def load_bench_snapshot(path: Union[str, Path]) -> dict:
             f"{path}: schema {snapshot.get('schema')!r} is not {BENCH_SCHEMA!r}"
         )
     return snapshot
+
+
+def explain_to_dict(log: Union[ExplainLog, dict]) -> dict:
+    """Normalize an explain log (or already-built payload) to JSON form."""
+    payload = log.to_dict() if isinstance(log, ExplainLog) else log
+    if payload.get("schema") != EXPLAIN_SCHEMA:
+        raise ValueError(
+            f"explain payload must carry schema {EXPLAIN_SCHEMA!r}"
+        )
+    return payload
+
+
+def write_explain(
+    path: Union[str, Path], log: Union[ExplainLog, dict]
+) -> Path:
+    """Write a ``repro-explain/v1`` decision log (``repro map --explain``).
+
+    The payload is validated before writing, so a malformed log fails
+    here rather than at the consumer.
+    """
+    payload = explain_to_dict(log)
+    validate_explain_payload(payload)
+    path = Path(path)
+    path.write_text(json.dumps(payload, indent=2) + "\n")
+    return path
+
+
+def load_explain(path: Union[str, Path]) -> dict:
+    """Load and schema-check a ``repro-explain/v1`` payload."""
+    with open(path) as handle:
+        payload = json.load(handle)
+    if payload.get("schema") != EXPLAIN_SCHEMA:
+        raise ValueError(
+            f"{path}: schema {payload.get('schema')!r} is not "
+            f"{EXPLAIN_SCHEMA!r}"
+        )
+    return payload

@@ -259,6 +259,59 @@ class TestSicDynamicDifferential:
         assert hazard_cases >= CASES_PER_CLASS // 20
 
 
+class TestWitnessReplayDifferential:
+    """Every witness a random analysis materializes must really glitch.
+
+    The record algorithms above are checked against the lattice oracle;
+    this closes the remaining gap to *hardware* semantics: each record's
+    witness burst is replayed on the event simulator and must produce
+    extra output changes.  Both generators run — covers (static-1 /
+    m.i.c. exemplars) and factored expressions (static-0 / s.i.c.).
+    """
+
+    REPLAY_CASES = 60
+
+    def _replay_all(self, analysis) -> int:
+        from repro.hazards.witness import analysis_witnesses, replay_witness
+
+        replayed = 0
+        for record, witness in analysis_witnesses(analysis):
+            replay = replay_witness(analysis.lsop, witness)
+            assert replay.glitched, (
+                f"{analysis.lsop.to_string()}: witness "
+                f"{witness.transition_string()} did not glitch: "
+                f"{replay.describe()}"
+            )
+            assert replay.changes > replay.expected
+            replayed += 1
+        return replayed
+
+    def test_cover_witnesses_glitch_on_eventsim(self):
+        from repro.hazards.analyzer import analyze_cover
+
+        rng = random.Random(0xB17E55)
+        replayed = 0
+        for _ in range(self.REPLAY_CASES):
+            nvars = rng.choice([3, 3, 4])
+            cover = random_cover(rng, nvars, max_cubes=4).dedup()
+            analysis = analyze_cover(cover, NAMES[:nvars])
+            replayed += self._replay_all(analysis)
+        # The stream must actually exercise witnesses.
+        assert replayed >= self.REPLAY_CASES // 4
+
+    def test_factored_witnesses_glitch_on_eventsim(self):
+        from repro.hazards.analyzer import analyze_expression
+
+        rng = random.Random(0xFAC7E5)
+        replayed = 0
+        for _ in range(self.REPLAY_CASES):
+            nvars = rng.choice([3, 3, 4])
+            text = random_factored_text(rng, nvars)
+            analysis = analyze_expression(parse(text))
+            replayed += self._replay_all(analysis)
+        assert replayed >= self.REPLAY_CASES // 10
+
+
 def test_total_differential_volume():
     """The harness replays at least the promised number of cases."""
     assert CASES_PER_CLASS * 4 >= 800

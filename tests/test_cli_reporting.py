@@ -58,6 +58,62 @@ class TestCli:
         out = capsys.readouterr().out
         assert "MUX21" in out
 
+    def test_audit_prints_confirmed_witnesses(self, capsys):
+        assert main(["audit", "CMOS3"]) == 0
+        out = capsys.readouterr().out
+        # Each hazardous cell carries a replayed, oracle-cross-checked
+        # witness transition.
+        assert "witness [static-1]" in out
+        assert "eventsim glitched, oracle hazard (confirmed)" in out
+        assert "MISMATCH" not in out
+
+    def test_map_explain_writes_valid_payload(self, tmp_path, capsys):
+        from repro.obs.explain import validate_explain_payload
+        from repro.obs.export import load_explain
+
+        path = tmp_path / "design.eqn"
+        path.write_text(".inputs s a b\nf = s*a + s'*b + a*b;\n")
+        out_path = tmp_path / "explain.json"
+        assert (
+            main(["map", str(path), "CMOS3", "--explain", str(out_path)]) == 0
+        )
+        out = capsys.readouterr().out
+        assert "explain:" in out and str(out_path) in out
+        payload = load_explain(out_path)
+        summary = validate_explain_payload(payload)
+        assert summary["rejected_hazard"] >= 1
+
+    def test_map_explain_default_path(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        assert main(["map", "dme", "CMOS3", "--explain", "--no-cache"]) == 0
+        out = capsys.readouterr().out
+        assert "dme_explain.json" in out
+        assert (tmp_path / "dme_explain.json").exists()
+
+    def test_explain_subcommand_renders_log(self, tmp_path, capsys):
+        path = tmp_path / "design.eqn"
+        path.write_text(".inputs s a b\nf = s*a + s'*b + a*b;\n")
+        out_path = tmp_path / "explain.json"
+        assert (
+            main(["map", str(path), "CMOS3", "--explain", str(out_path)]) == 0
+        )
+        capsys.readouterr()
+        assert main(["explain", str(out_path), "--rejected-only"]) == 0
+        out = capsys.readouterr().out
+        assert "MUX21" in out
+        assert "rejected-hazard" in out
+        assert "cell witness:" in out
+
+    def test_explain_subcommand_on_the_fly(self, capsys):
+        assert main(["explain", "dme", "--library", "CMOS3"]) == 0
+        out = capsys.readouterr().out
+        assert "dme onto CMOS3" in out
+        assert "candidates over" in out
+
+    def test_explain_subcommand_bad_source(self, capsys):
+        assert main(["explain", "no-such-thing"]) == 2
+        assert "not an explain JSON" in capsys.readouterr().err
+
     def test_unknown_command_rejected(self):
         with pytest.raises(SystemExit):
             main(["frobnicate"])
