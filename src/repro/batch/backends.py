@@ -1,0 +1,193 @@
+"""Executor backends: ``serial`` | ``threads`` | ``processes``.
+
+The engine schedules against one tiny interface —
+:class:`ExecutorBackend` — so scheduling, retry, deadline, and journal
+logic are written once and the choice of execution substrate is a flag:
+
+* ``serial``    — jobs run inline on the coordinator thread; submission
+  returns an already-settled future.  Zero concurrency, zero overhead,
+  and the reference behaviour every other backend must reproduce
+  byte-for-byte.
+* ``threads``   — a :class:`~concurrent.futures.ThreadPoolExecutor`;
+  cheap to spin up but GIL-bound for the covering DP, so it only
+  overlaps I/O (annotation-cache reads, journal writes).
+* ``processes`` — a :class:`~concurrent.futures.ProcessPoolExecutor`;
+  true parallelism and *crash isolation*: a worker that dies (segfault,
+  OOM-kill, ``os._exit``) breaks the pool, which the engine observes as
+  :class:`BrokenExecutor` on the in-flight futures and answers with
+  :meth:`ExecutorBackend.restart` — a kill-and-respawn that no other
+  job's state survives into.
+
+Job payloads and results must be picklable for the process backend;
+the other two inherit the same discipline so switching backends can
+never change behaviour.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from concurrent.futures import (
+    BrokenExecutor,
+    Future,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+)
+from typing import Callable, Optional
+
+from .jobs import execute_job
+
+BACKEND_NAMES = ("serial", "threads", "processes")
+
+
+class ExecutorBackend:
+    """The minimal executor surface the batch engine schedules against."""
+
+    name: str = "abstract"
+    #: Whether a dead worker takes only itself down (process isolation).
+    supports_crash_isolation: bool = False
+
+    def __init__(self, workers: int = 1) -> None:
+        self.workers = max(1, workers)
+
+    def start(self) -> None:
+        """Bring the pool up (idempotent)."""
+
+    def submit(self, *args, **kwargs) -> Future:
+        """Schedule one :func:`~repro.batch.jobs.execute_job` call."""
+        raise NotImplementedError
+
+    def restart(self) -> None:
+        """Tear down a (possibly broken) pool and bring up a fresh one.
+
+        In-flight work is abandoned; the engine reschedules it.  A
+        no-op for backends without a pool to poison.
+        """
+
+    def shutdown(self) -> None:
+        """Release the pool (idempotent)."""
+
+
+class SerialBackend(ExecutorBackend):
+    """Inline execution; the deterministic reference backend."""
+
+    name = "serial"
+
+    def submit(self, *args, **kwargs) -> Future:
+        future: Future = Future()
+        try:
+            future.set_result(execute_job(*args, **kwargs))
+        except BaseException as exc:  # noqa: BLE001 - mirrored into the future
+            future.set_exception(exc)
+        return future
+
+
+class ThreadBackend(ExecutorBackend):
+    """Thread-pool execution (overlaps I/O; covering stays GIL-bound)."""
+
+    name = "threads"
+
+    def __init__(self, workers: int = 1) -> None:
+        super().__init__(workers)
+        self._pool: Optional[ThreadPoolExecutor] = None
+
+    def start(self) -> None:
+        if self._pool is None:
+            self._pool = ThreadPoolExecutor(
+                max_workers=self.workers, thread_name_prefix="repro-batch"
+            )
+
+    def submit(self, *args, **kwargs) -> Future:
+        self.start()
+        assert self._pool is not None
+        return self._pool.submit(execute_job, *args, **kwargs)
+
+    def restart(self) -> None:
+        # Threads cannot be killed; abandon the pool without joining the
+        # stragglers and start fresh.
+        if self._pool is not None:
+            self._pool.shutdown(wait=False, cancel_futures=True)
+            self._pool = None
+        self.start()
+
+    def shutdown(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True, cancel_futures=True)
+            self._pool = None
+
+
+class ProcessBackend(ExecutorBackend):
+    """Process-pool execution with kill-and-respawn crash recovery."""
+
+    name = "processes"
+    supports_crash_isolation = True
+
+    def __init__(self, workers: int = 1) -> None:
+        super().__init__(workers)
+        self._pool: Optional[ProcessPoolExecutor] = None
+
+    @staticmethod
+    def _context():
+        # fork is the fast path (workers inherit synthesized benchmarks
+        # and loaded libraries); fall back to the platform default where
+        # fork is unavailable.
+        methods = multiprocessing.get_all_start_methods()
+        return multiprocessing.get_context(
+            "fork" if "fork" in methods else None
+        )
+
+    def start(self) -> None:
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(
+                max_workers=self.workers, mp_context=self._context()
+            )
+
+    def submit(self, *args, **kwargs) -> Future:
+        self.start()
+        assert self._pool is not None
+        return self._pool.submit(execute_job, *args, **kwargs)
+
+    def restart(self) -> None:
+        if self._pool is not None:
+            # A broken pool's processes are already dead; a live pool's
+            # are killed so a hung worker cannot outlive its job.
+            self._pool.shutdown(wait=False, cancel_futures=True)
+            processes = getattr(self._pool, "_processes", None) or {}
+            for process in list(processes.values()):
+                if process.is_alive():  # pragma: no cover - hard-timeout path
+                    process.terminate()
+            self._pool = None
+        self.start()
+
+    def shutdown(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True, cancel_futures=True)
+            self._pool = None
+
+
+_BACKENDS: dict[str, Callable[[int], ExecutorBackend]] = {
+    "serial": SerialBackend,
+    "threads": ThreadBackend,
+    "processes": ProcessBackend,
+}
+
+
+def create_backend(name: str, workers: int = 1) -> ExecutorBackend:
+    """Instantiate a backend by flag value (``serial|threads|processes``)."""
+    try:
+        factory = _BACKENDS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown backend {name!r}; one of {BACKEND_NAMES}"
+        ) from None
+    return factory(workers)
+
+
+__all__ = [
+    "BACKEND_NAMES",
+    "BrokenExecutor",
+    "ExecutorBackend",
+    "ProcessBackend",
+    "SerialBackend",
+    "ThreadBackend",
+    "create_backend",
+]

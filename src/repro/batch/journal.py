@@ -1,0 +1,242 @@
+"""The ``repro-batch/v1`` checkpoint journal.
+
+A batch run appends one JSON line per event to its journal file, giving
+the engine crash-safe, resumable bookkeeping:
+
+* line 1 — a ``header`` record stamping the schema, the run
+  configuration, and the set of job spec digests;
+* one ``result`` record per finished job (appended *and fsynced* the
+  moment the job settles, so a killed engine loses at most the job that
+  was in flight);
+* a ``resume`` marker each time a later run re-opens the journal.
+
+On ``--resume`` the engine replays the journal: a job is *skipped* only
+when its recorded spec digest matches the current job spec, its status
+is ``ok``, and — when the run writes netlist artifacts — the artifact
+file still hashes to the recorded digest.  Any mismatch (edited digest,
+tampered or missing artifact, changed options) re-runs the job, so the
+journal can never smuggle a stale or forged result into a fresh run.
+
+Like the other versioned exporters (``repro-trace/v1``,
+``repro-metrics/v1``, ``repro-bench-mapping/v1``, ``repro-explain/v1``)
+the schema is validated by a dedicated checker,
+:func:`validate_journal`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Optional, Union
+
+BATCH_SCHEMA = "repro-batch/v1"
+
+#: Terminal job statuses a ``result`` record may carry.
+RESULT_STATUSES = ("ok", "failed", "crashed", "timeout")
+
+
+def file_digest(path: Union[str, Path]) -> str:
+    """SHA-256 hex digest of a file's bytes."""
+    hasher = hashlib.sha256()
+    with open(path, "rb") as handle:
+        for chunk in iter(lambda: handle.read(65536), b""):
+            hasher.update(chunk)
+    return hasher.hexdigest()
+
+
+class JournalError(ValueError):
+    """A journal failed schema validation."""
+
+
+@dataclass
+class JournalWriter:
+    """Append-only writer; every record is flushed and fsynced."""
+
+    path: Path
+
+    def __post_init__(self) -> None:
+        self.path = Path(self.path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+
+    def _append(self, record: dict) -> None:
+        line = json.dumps(record, sort_keys=True, separators=(",", ":"))
+        with open(self.path, "a", encoding="utf-8") as handle:
+            handle.write(line + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+
+    def repair_tail(self) -> int:
+        """Truncate a torn final line left by a killed writer.
+
+        Appending after an unterminated (or unparseable) tail would
+        merge the next record into the garbage, so a resuming engine
+        repairs the tail before writing anything.  Returns the number of
+        bytes dropped (0 for a clean journal).
+        """
+        try:
+            data = self.path.read_bytes()
+        except FileNotFoundError:
+            return 0
+        lines = data.split(b"\n")
+        # A file ending in "\n" splits to a trailing empty segment; a
+        # torn file's trailing segment is the partial record.  Either
+        # way the final segment is dropped and the newline restored by
+        # the join below.
+        kept = lines[:-1]
+        while kept:
+            try:
+                json.loads(kept[-1].decode("utf-8"))
+                break
+            except (UnicodeDecodeError, ValueError):
+                kept.pop()
+        repaired = b"\n".join(kept) + b"\n" if kept else b""
+        if repaired == data:
+            return 0
+        with open(self.path, "wb") as handle:
+            handle.write(repaired)
+            handle.flush()
+            os.fsync(handle.fileno())
+        return len(data) - len(repaired)
+
+    def write_header(self, jobs: dict[str, str], config: dict) -> None:
+        """Start a journal: job id → spec digest plus the run config."""
+        self._append(
+            {
+                "kind": "header",
+                "schema": BATCH_SCHEMA,
+                "created": time.time(),
+                "jobs": jobs,
+                "config": config,
+            }
+        )
+
+    def write_resume(self, skipped: int, rerun: int) -> None:
+        self._append(
+            {
+                "kind": "resume",
+                "time": time.time(),
+                "skipped": skipped,
+                "rerun": rerun,
+            }
+        )
+
+    def write_result(self, record: dict) -> None:
+        record = dict(record, kind="result")
+        if record.get("status") not in RESULT_STATUSES:
+            raise JournalError(
+                f"result status {record.get('status')!r} not in "
+                f"{RESULT_STATUSES}"
+            )
+        if "job_id" not in record or "spec" not in record:
+            raise JournalError("result records need job_id and spec fields")
+        self._append(record)
+
+
+def read_journal(path: Union[str, Path]) -> tuple[dict, dict[str, dict]]:
+    """Parse a journal into (header, latest result per job id).
+
+    A truncated final line — the signature of a killed engine — is
+    tolerated and ignored; any other malformed content raises
+    :class:`JournalError`.  Later ``result`` records for the same job id
+    supersede earlier ones (a resumed run re-running a tampered job
+    appends a fresh record rather than editing history).
+    """
+    path = Path(path)
+    header: Optional[dict] = None
+    results: dict[str, dict] = {}
+    with open(path, "r", encoding="utf-8") as handle:
+        lines = [
+            (number, line)
+            for number, line in enumerate(handle.read().split("\n"), start=1)
+            if line.strip()
+        ]
+    for position, (number, line) in enumerate(lines):
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError:
+            if position == len(lines) - 1:
+                continue  # torn tail from a killed writer
+            # A torn line *followed by* valid ones means the file was
+            # edited, not truncated — surface it.
+            raise JournalError(f"{path}: malformed journal line {number}")
+        if not isinstance(record, dict):
+            raise JournalError(f"{path}: journal line {number} is not an object")
+        kind = record.get("kind")
+        if kind == "header":
+            if record.get("schema") != BATCH_SCHEMA:
+                raise JournalError(
+                    f"{path}: schema {record.get('schema')!r} is not "
+                    f"{BATCH_SCHEMA!r}"
+                )
+            if header is None:
+                header = record
+        elif kind == "result":
+            results[str(record.get("job_id"))] = record
+        elif kind != "resume":
+            raise JournalError(f"{path}: unknown record kind {kind!r}")
+    if header is None:
+        raise JournalError(f"{path}: no {BATCH_SCHEMA} header record")
+    return header, results
+
+
+def validate_journal(path: Union[str, Path]) -> tuple[dict, dict[str, dict]]:
+    """Full schema check of a journal; returns (header, results).
+
+    Raises :class:`JournalError` when the header is missing or any
+    record is malformed — the checkpoint/resume tests and ``repro batch
+    --check`` both go through here.
+    """
+    header, results = read_journal(path)
+    jobs = header.get("jobs")
+    if not isinstance(jobs, dict):
+        raise JournalError(f"{path}: header carries no job table")
+    for job_id, record in results.items():
+        if record.get("status") not in RESULT_STATUSES:
+            raise JournalError(
+                f"{path}: job {job_id!r} has unknown status "
+                f"{record.get('status')!r}"
+            )
+        if record.get("status") == "ok" and not record.get("digest"):
+            raise JournalError(f"{path}: ok job {job_id!r} without a digest")
+        if job_id in jobs and record.get("spec") != jobs[job_id]:
+            raise JournalError(
+                f"{path}: job {job_id!r} result spec digest does not match "
+                "the header's job table"
+            )
+    return header, results
+
+
+def check_artifacts(
+    results: dict[str, dict], output_dir: Optional[Union[str, Path]]
+) -> list[str]:
+    """Verify every ``ok`` result's artifact digest; returns problems.
+
+    Used by ``repro batch --check``: an edited/tampered artifact (or an
+    edited digest in the journal — the two are indistinguishable and
+    equally disqualifying) or a missing file is reported; jobs without a
+    recorded artifact are skipped.
+    """
+    problems = []
+    for job_id, record in sorted(results.items()):
+        if record.get("status") != "ok":
+            problems.append(
+                f"{job_id}: status {record.get('status')} "
+                f"({record.get('error') or 'no error recorded'})"
+            )
+            continue
+        artifact = record.get("artifact")
+        if not artifact:
+            continue
+        path = Path(output_dir or ".") / artifact
+        if not path.exists():
+            problems.append(f"{job_id}: artifact {artifact} is missing")
+        elif file_digest(path) != record.get("digest"):
+            problems.append(
+                f"{job_id}: artifact {artifact} does not hash to the "
+                "journalled digest (tampered or corrupted)"
+            )
+    return problems

@@ -11,6 +11,9 @@ Commands mirror the paper's workflows:
   don't-cares, and verify the result;
 * ``explain`` — render the per-cone decision report of a
   ``repro-explain/v1`` log (or map a catalog benchmark on the fly);
+* ``batch``   — map a whole catalog of (design, library) jobs through
+  the fault-tolerant batch engine (process/thread/serial backends,
+  deadlines, retries, resumable ``repro-batch/v1`` journal);
 * ``bench``   — list the benchmark catalog;
 * ``perf``    — replay the Table-5 workload and write the
   ``BENCH_mapping.json`` snapshot that
@@ -33,7 +36,15 @@ import argparse
 import sys
 from typing import Optional, Sequence
 
-from .burstmode.benchmarks import CATALOG, synthesize_benchmark
+from .batch import (
+    BatchConfig,
+    BatchJob,
+    check_artifacts,
+    run_batch,
+    validate_journal,
+)
+from .batch.backends import BACKEND_NAMES
+from .burstmode.benchmarks import CATALOG, TABLE5_ORDER, synthesize_benchmark
 from .library import anncache
 from .library.standard import ALL_LIBRARIES, load_library
 from .mapping.dontcare import synthesis_bursts
@@ -50,6 +61,7 @@ from .obs.metrics import MetricsRegistry
 from .obs.perf import run_perf
 from .obs.tracer import Tracer
 from .reporting import render_table
+from .testing.faults import FaultPlan
 
 
 def _cmd_census(args: argparse.Namespace) -> int:
@@ -259,6 +271,147 @@ def _cmd_map(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_batch(args: argparse.Namespace) -> int:
+    from .batch.journal import JournalError
+
+    designs = args.designs or list(TABLE5_ORDER)
+    unknown = sorted(set(designs) - set(CATALOG))
+    if unknown:
+        print(f"unknown benchmark(s): {', '.join(unknown)}", file=sys.stderr)
+        return 2
+    jobs = [
+        BatchJob(
+            design=design,
+            library=library,
+            mode="sync" if args.sync else "async",
+            max_depth=args.depth,
+            objective=args.objective,
+            verify=args.verify,
+            explain=args.explain,
+        )
+        for library in args.libraries
+        for design in designs
+    ]
+
+    journal = args.journal or (
+        str(args.output_dir) + "/batch_journal.jsonl" if args.output_dir else None
+    )
+    if args.check:
+        if not journal:
+            print("--check needs --journal or --output-dir", file=sys.stderr)
+            return 2
+        try:
+            _, results = validate_journal(journal)
+        except (OSError, JournalError) as exc:
+            print(f"journal check FAILED: {exc}", file=sys.stderr)
+            return 1
+        problems = check_artifacts(results, args.output_dir)
+        missing = [j.job_id for j in jobs if j.job_id not in results]
+        for job_id in missing:
+            problems.append(f"{job_id}: no journalled result")
+        if problems:
+            print(f"batch check FAILED ({len(problems)} problem(s)):")
+            for problem in problems:
+                print(f"  ! {problem}")
+            return 1
+        print(
+            f"batch check passed: {len(results)} journalled job(s) verified "
+            f"against {journal}"
+        )
+        return 0
+
+    cache_dir = (
+        anncache.DISABLED
+        if args.no_cache
+        else (args.cache_dir or str(anncache.default_cache_root()))
+    )
+    try:
+        fault_plan = FaultPlan.parse(args.inject) if args.inject else None
+    except ValueError as exc:
+        print(f"bad --inject spec: {exc}", file=sys.stderr)
+        return 2
+    tracer = Tracer() if args.trace else None
+    metrics = MetricsRegistry()
+
+    def progress(record: dict) -> None:
+        status = record.get("status")
+        note = ""
+        if record.get("skipped"):
+            note = " (resumed from journal)"
+        elif record.get("fallback"):
+            note = f" (deadline fallback: {record['fallback']})"
+        elif record.get("attempts", 1) > 1:
+            note = f" ({record['attempts']} attempts)"
+        if status == "ok":
+            print(
+                f"  {record['job_id']}: area={record['area']:.0f} "
+                f"cells={record['cells']} "
+                f"{record.get('map_seconds', 0.0):.2f}s{note}"
+            )
+        else:
+            print(
+                f"  {record['job_id']}: {status.upper()} — "
+                f"{record.get('error', 'no detail')}{note}"
+            )
+
+    config = BatchConfig(
+        backend=args.backend,
+        workers=args.workers,
+        deadline=args.deadline,
+        retries=args.retries,
+        backoff=args.backoff,
+        cache_dir=cache_dir,
+        journal=journal,
+        output_dir=args.output_dir,
+        resume=args.resume,
+        fault_plan=fault_plan,
+        tracer=tracer,
+        metrics=metrics,
+        progress=progress,
+    )
+    print(
+        f"batch: {len(jobs)} job(s) "
+        f"({len(designs)} design(s) × {len(args.libraries)} librar"
+        f"{'y' if len(args.libraries) == 1 else 'ies'}) on the "
+        f"{args.backend} backend, workers={config.resolved_workers()}"
+    )
+    report = run_batch(jobs, config)
+    counts = report.counts()
+    print(
+        f"batch finished in {report.elapsed:.2f}s: "
+        + ", ".join(f"{k}={v}" for k, v in sorted(counts.items()) if v)
+        + (f", pool_breaks={report.pool_breaks}" if report.pool_breaks else "")
+    )
+    if report.journal is not None:
+        print(f"journal: {report.journal}")
+    if args.bench_snapshot:
+        snapshot = report.to_bench_snapshot(max_depth=args.depth)
+        write_bench_snapshot(args.bench_snapshot, snapshot)
+        print(f"bench snapshot written to {args.bench_snapshot}")
+    if tracer is not None:
+        tracer.assert_well_formed()
+        write_trace(args.trace, tracer, metrics=metrics)
+        print(f"trace written to {args.trace}")
+    if args.metrics:
+        print("metrics:")
+        for line in _format_metrics(metrics):
+            print(f"  {line}")
+    failed = [r for r in report.results if r.get("status") != "ok"]
+    bad_verify = [
+        r
+        for r in report.results
+        if r.get("status") == "ok" and not r.get("verify", {}).get("ok", True)
+    ]
+    for record in failed:
+        print(
+            f"FAILED {record['job_id']}: {record.get('error')}",
+            file=sys.stderr,
+        )
+    for record in bad_verify:
+        print(f"VERIFY FAILED {record['job_id']}", file=sys.stderr)
+    return 1 if failed or bad_verify else 0
+
+
 def _cmd_explain(args: argparse.Namespace) -> int:
     import os
 
@@ -438,6 +591,119 @@ def build_parser() -> argparse.ArgumentParser:
         "(default FILE: <design>_explain.json)",
     )
     map_cmd.set_defaults(func=_cmd_map)
+
+    batch = sub.add_parser(
+        "batch",
+        help="map a catalog of jobs through the fault-tolerant batch engine",
+    )
+    batch.add_argument(
+        "designs",
+        nargs="*",
+        help="catalog benchmarks (default: the full Table-5 catalog)",
+    )
+    batch.add_argument(
+        "--libraries",
+        nargs="+",
+        choices=sorted(ALL_LIBRARIES),
+        default=["CMOS3"],
+        help="target libraries; jobs are the designs × libraries product",
+    )
+    batch.add_argument(
+        "--backend",
+        choices=BACKEND_NAMES,
+        default="processes",
+        help="execution backend (default: processes)",
+    )
+    batch.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="pool width (0 = one per CPU)",
+    )
+    batch.add_argument(
+        "--deadline",
+        type=float,
+        default=None,
+        help="per-job budget in seconds; overruns degrade to the "
+        "trivial depth-1 cover",
+    )
+    batch.add_argument(
+        "--retries",
+        type=int,
+        default=2,
+        help="retries per job for transient failures (default: 2)",
+    )
+    batch.add_argument(
+        "--backoff",
+        type=float,
+        default=0.5,
+        help="base backoff seconds, doubled per attempt (default: 0.5)",
+    )
+    batch.add_argument("--sync", action="store_true", help="use the sync baseline")
+    batch.add_argument("--depth", type=int, default=5)
+    batch.add_argument("--objective", choices=["area", "delay"], default="area")
+    batch.add_argument(
+        "--verify",
+        action="store_true",
+        help="verify every mapped network (equivalence + hazard safety)",
+    )
+    batch.add_argument(
+        "--explain",
+        action="store_true",
+        help="write a repro-explain/v1 log next to each netlist artifact",
+    )
+    batch.add_argument(
+        "--journal",
+        help="repro-batch/v1 checkpoint journal path "
+        "(default: <output-dir>/batch_journal.jsonl)",
+    )
+    batch.add_argument(
+        "--output-dir",
+        help="write each mapped network as BLIF (plus the journal) here",
+    )
+    batch.add_argument(
+        "--resume",
+        action="store_true",
+        help="skip journalled jobs whose spec and artifact digests verify",
+    )
+    batch.add_argument(
+        "--check",
+        action="store_true",
+        help="verify the journal and artifacts without mapping; "
+        "nonzero exit on tamper/failure",
+    )
+    batch.add_argument(
+        "--bench-snapshot",
+        metavar="FILE",
+        help="write a repro-bench-mapping/v1 snapshot (single-library "
+        "batches; gated by benchmarks/check_regression.py --subset)",
+    )
+    batch.add_argument(
+        "--inject",
+        action="append",
+        metavar="KIND@SITE[#JOB][*TIMES]",
+        help="install a deterministic fault (e.g. raise@cover.cone#chu-ad-opt); "
+        "repeatable, for CI smoke tests of the retry path",
+    )
+    batch.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="skip the on-disk library-annotation cache",
+    )
+    batch.add_argument(
+        "--cache-dir", help="annotation cache location (default: ~/.cache/repro-tmap)"
+    )
+    batch.add_argument(
+        "--trace",
+        metavar="FILE",
+        help="record the run as a repro-trace/v1 span tree at FILE",
+    )
+    batch.add_argument(
+        "--metrics",
+        action="store_true",
+        help="print the run's metrics snapshot",
+    )
+    batch.set_defaults(func=_cmd_batch)
 
     explain_cmd = sub.add_parser(
         "explain",

@@ -1,0 +1,90 @@
+"""Cooperative deadlines for long-running mapping work.
+
+A :class:`Deadline` is a wall-clock budget that cooperating code checks
+at natural preemption points — the mapper tests it before covering each
+cone and before building the mapped netlist, and the fault-injection
+hooks honour it while simulating hangs.  Python cannot preempt a
+running computation, so this is the portable cancellation mechanism the
+batch engine relies on for *every* backend; the process backend adds a
+hard kill-and-respawn backstop on top for code that never reaches a
+checkpoint.
+
+Deadlines are cheap (one monotonic clock read per check) and are plain
+per-run objects: they hold no global state and are never shared between
+jobs.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Optional
+
+
+class DeadlineExceeded(RuntimeError):
+    """A cooperative checkpoint found the job's time budget exhausted.
+
+    Carries the checkpoint ``site`` so failure reports can say *where*
+    the budget ran out (``cover.cone``, ``netlist.build``, …).  ``args``
+    mirrors the constructor arguments so the exception pickles cleanly
+    out of process-pool workers.
+    """
+
+    def __init__(self, site: str, seconds: float) -> None:
+        super().__init__(site, seconds)
+        self.site = site
+        self.seconds = seconds
+
+    def __str__(self) -> str:
+        return f"deadline of {self.seconds:.3f}s exceeded at {self.site!r}"
+
+
+class Deadline:
+    """A monotonic-clock budget of ``seconds`` starting at construction."""
+
+    __slots__ = ("seconds", "_expires")
+
+    #: Sleep-slice granularity of :meth:`sleep` (seconds).
+    SLICE = 0.01
+
+    def __init__(self, seconds: float) -> None:
+        if seconds <= 0:
+            raise ValueError("deadline must be a positive number of seconds")
+        self.seconds = float(seconds)
+        self._expires = time.monotonic() + self.seconds
+
+    def remaining(self) -> float:
+        """Seconds left (negative once expired)."""
+        return self._expires - time.monotonic()
+
+    def expired(self) -> bool:
+        return self.remaining() <= 0
+
+    def check(self, site: str) -> None:
+        """Raise :class:`DeadlineExceeded` if the budget is exhausted."""
+        if self.expired():
+            raise DeadlineExceeded(site, self.seconds)
+
+    def sleep(self, duration: float, site: str = "sleep") -> None:
+        """Sleep up to ``duration``, checking the budget between slices.
+
+        Raises :class:`DeadlineExceeded` as soon as the budget runs out,
+        so an injected hang longer than the deadline wakes up *at* the
+        deadline rather than after the full hang.
+        """
+        end = time.monotonic() + duration
+        while True:
+            self.check(site)
+            left = end - time.monotonic()
+            if left <= 0:
+                return
+            time.sleep(min(self.SLICE, left, max(self.remaining(), 0.0)))
+
+
+def checked_sleep(
+    duration: float, deadline: Optional[Deadline], site: str = "sleep"
+) -> None:
+    """Sleep honouring ``deadline`` when one is active (else plain sleep)."""
+    if deadline is None:
+        time.sleep(duration)
+    else:
+        deadline.sleep(duration, site)

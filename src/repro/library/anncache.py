@@ -22,6 +22,12 @@ carry the fingerprint again and are validated on read; corrupt,
 truncated, or stale files are removed and silently rebuilt — the cache
 can never change results, only timing.
 
+Writes are multi-process safe: each writer renders to a per-PID temp
+file and atomically renames it over the payload path while holding an
+advisory ``fcntl`` lock on ``<payload>.lock``, so concurrent batch
+workers annotating the same library can never publish a torn JSON
+payload (see :func:`payload_lock`).
+
 Enabling the cache:
 
 * pass ``cache_dir`` to :meth:`repro.library.library.Library.annotate_hazards`;
@@ -45,9 +51,15 @@ import hashlib
 import json
 import os
 import time
+from contextlib import contextmanager
 from dataclasses import dataclass
 from pathlib import Path
-from typing import TYPE_CHECKING, Optional, Union
+from typing import TYPE_CHECKING, Iterator, Optional, Union
+
+try:  # POSIX advisory locks; absent on some platforms.
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX fallback
+    fcntl = None  # type: ignore[assignment]
 
 from ..boolean.cover import Cover
 from ..boolean.cube import Cube
@@ -326,6 +338,32 @@ def store_annotations(
     return path
 
 
+@contextmanager
+def payload_lock(path: Path) -> Iterator[None]:
+    """Advisory exclusive lock for one payload file (best-effort).
+
+    Writers of the same payload serialize on ``<payload>.lock`` so two
+    batch processes annotating the same library never interleave their
+    write-temp-then-rename sequences; readers never lock (the rename is
+    atomic, so a reader sees either the old payload or the new one,
+    never a torn mix).  On platforms without ``fcntl`` the lock degrades
+    to a no-op — per-PID temp names plus ``os.replace`` still guarantee
+    the payload itself is never torn, the lock only removes duplicate
+    concurrent cold passes.
+    """
+    if fcntl is None:  # pragma: no cover - non-POSIX fallback
+        yield
+        return
+    lock_path = path.with_name(path.name + ".lock")
+    lock_path.parent.mkdir(parents=True, exist_ok=True)
+    with open(lock_path, "a+") as handle:
+        fcntl.flock(handle.fileno(), fcntl.LOCK_EX)
+        try:
+            yield
+        finally:
+            fcntl.flock(handle.fileno(), fcntl.LOCK_UN)
+
+
 def _store_annotations(
     library: "Library", exhaustive: bool, cold_elapsed: float, cache_dir: Path
 ) -> Path:
@@ -344,10 +382,17 @@ def _store_annotations(
             if cell.analysis is not None
         },
     }
+    # Atomic publish: write a per-PID temp file, then rename over the
+    # final path under an advisory lock.  Readers never see a partial
+    # payload (rename is atomic) and concurrent writers never interleave
+    # (the lock serializes them) — safe for multi-process batch runs.
     tmp = path.with_suffix(f".tmp-{os.getpid()}")
-    with open(tmp, "w", encoding="utf-8") as handle:
-        json.dump(data, handle, separators=(",", ":"))
-    os.replace(tmp, path)
+    with payload_lock(path):
+        with open(tmp, "w", encoding="utf-8") as handle:
+            json.dump(data, handle, separators=(",", ":"))
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, path)
     return path
 
 

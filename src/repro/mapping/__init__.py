@@ -5,7 +5,7 @@ from .dontcare import HazardDontCares, InputBurst, synthesis_bursts
 from .reference import hand_style_reference
 from .cuts import Cluster, cluster_expression, enumerate_clusters
 from .match import Match, expression_truth_table, find_matches, match_cluster
-from .mapper import MappingOptions, MappingResult, async_tmap, tmap
+from .mapper import MappingOptions, MappingResult, async_tmap, map_network, tmap
 from .verify import VerificationReport, verify_mapping
 
 __all__ = [
@@ -27,6 +27,7 @@ __all__ = [
     "expression_truth_table",
     "hand_style_reference",
     "find_matches",
+    "map_network",
     "match_cluster",
     "synthesis_bursts",
     "tmap",

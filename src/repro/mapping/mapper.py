@@ -26,8 +26,9 @@ import os
 import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Optional, Union
 
+from ..deadline import Deadline
 from ..library import anncache
 from ..library.library import AnnotationReport, Library
 from ..network.decompose import async_tech_decomp, tech_decomp
@@ -36,6 +37,7 @@ from ..network.partition import Cone, partition
 from ..obs.explain import ConeExplain, ExplainLog
 from ..obs.metrics import MetricsRegistry
 from ..obs.tracer import NULL_TRACER, Tracer
+from ..testing import faults
 from .cover import ConeCover, CoverStats, cover_cone
 
 
@@ -77,6 +79,13 @@ class MappingOptions:
     :class:`repro.obs.explain.ExplainLog`).  Per-cone recorders are
     merged in cone order, so the log is identical for any ``workers``
     value; disabled, the hot path pays one ``is None`` check per match.
+
+    ``deadline`` (a :class:`repro.deadline.Deadline`) bounds the run
+    cooperatively: the mapper checks it before annotation, before each
+    cone's covering, and before netlist assembly, raising
+    :class:`repro.deadline.DeadlineExceeded` at the first checkpoint
+    past the budget.  The batch engine catches that and degrades to a
+    trivial depth-1 cover; direct callers see the exception.
     """
 
     max_depth: int = 5
@@ -90,6 +99,7 @@ class MappingOptions:
     tracer: Optional[Tracer] = None
     metrics: Optional[MetricsRegistry] = None
     explain: bool = False
+    deadline: Optional[Deadline] = None
 
     def resolved_workers(self) -> int:
         if self.workers == 0:
@@ -176,6 +186,9 @@ def async_tmap(
     annotate_elapsed = 0.0
     annotation_report = None
     with tracer.span("async_tmap", design=network.name, library=library.name):
+        faults.fire("annotate.library", options.deadline)
+        if options.deadline is not None:
+            options.deadline.check("annotate.library")
         if not library.annotated:
             annotation_report = library.annotate_hazards(
                 exhaustive=options.exhaustive_annotation,
@@ -199,6 +212,36 @@ def async_tmap(
     result.annotation_report = annotation_report
     _finalize_metrics(result)
     return result
+
+
+def map_network(
+    design: Union[str, Netlist],
+    library: Union[str, Library],
+    options: Optional[MappingOptions] = None,
+    mode: str = "async",
+) -> MappingResult:
+    """Map one design onto one library — the single-job entry point.
+
+    ``design`` is a :class:`~repro.network.netlist.Netlist` or a
+    benchmark-catalog name; ``library`` a :class:`Library` or a standard
+    library name.  ``mode`` selects :func:`async_tmap` (``"async"``,
+    the paper's hazard-safe flow) or :func:`tmap` (``"sync"``).  The
+    batch engine's workers call exactly this function, which is what
+    makes ``repro batch`` results byte-identical to per-design
+    ``repro map`` runs.
+    """
+    if isinstance(design, str):
+        from ..burstmode.benchmarks import synthesize_benchmark
+
+        design = synthesize_benchmark(design).netlist(design)
+    if isinstance(library, str):
+        from ..library.standard import load_library
+
+        library = load_library(library)
+    if mode not in ("async", "sync"):
+        raise ValueError(f"unknown mapping mode {mode!r}")
+    mapper = async_tmap if mode == "async" else tmap
+    return mapper(design, library, options)
 
 
 def _map_decomposed(
@@ -241,6 +284,11 @@ def _map_decomposed(
         cone_stats = CoverStats()
         # Thread-confined like cone_stats; merged in cone order below.
         cone_explain = ConeExplain(cone.root) if options.explain else None
+        faults.fire("cover.cone", options.deadline)
+        if options.deadline is not None:
+            # The cooperative per-cone checkpoint: a job past its budget
+            # stops before starting another covering DP.
+            options.deadline.check("cover.cone")
         cone_start = time.perf_counter()
         with tracer.span(
             "cone", parent=cover_span, key=cone.root, size=cone.size
@@ -293,6 +341,9 @@ def _map_decomposed(
         if explain_log is not None and cone_explain is not None:
             explain_log.add_cone(cone_explain)
 
+    faults.fire("netlist.build", options.deadline)
+    if options.deadline is not None:
+        options.deadline.check("netlist.build")
     with tracer.span("build_netlist") as build_span:
         mapped = _build_mapped_netlist(source, decomposed, covers)
         build_span.set_attr(gates=len(mapped.nodes))

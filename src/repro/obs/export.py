@@ -12,7 +12,11 @@ Three on-disk contracts live here, each version-stamped:
   Observability section);
 * ``repro-explain/v1`` — the witness-backed mapping decision log
   written by ``repro map --explain`` and rendered by ``repro explain``
-  (schema owned by :mod:`repro.obs.explain`).
+  (schema owned by :mod:`repro.obs.explain`);
+* ``repro-batch/v1`` — the fsynced JSONL checkpoint journal written by
+  ``repro batch`` (schema and validator owned by
+  :mod:`repro.batch.journal`; lives there rather than here because the
+  journal is an append-only event log, not a one-shot JSON document).
 """
 
 from __future__ import annotations

@@ -1,0 +1,27 @@
+"""Test-support machinery shipped with the package.
+
+:mod:`repro.testing.faults` is the seeded fault-injection layer the
+batch engine's robustness features are validated against; it lives in
+the installed package (not the test tree) because worker *processes*
+must be able to import and install a fault plan.
+"""
+
+from .faults import (  # noqa: F401
+    FaultInjected,
+    FaultPlan,
+    FaultSpec,
+    clear_plan,
+    corrupt,
+    fire,
+    install_plan,
+)
+
+__all__ = [
+    "FaultInjected",
+    "FaultPlan",
+    "FaultSpec",
+    "clear_plan",
+    "corrupt",
+    "fire",
+    "install_plan",
+]

@@ -1,0 +1,16 @@
+"""Session fixtures for the batch tests."""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture(scope="session")
+def ann_cache(tmp_path_factory) -> str:
+    """A shared on-disk annotation cache.
+
+    Warmed by whichever test annotates a library first, then replayed by
+    every later test — including process-pool workers, which is exactly
+    the multi-process read path the anncache lock protects.
+    """
+    return str(tmp_path_factory.mktemp("anncache"))

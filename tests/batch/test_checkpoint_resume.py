@@ -1,0 +1,301 @@
+"""Checkpoint-journal and resume semantics, including a real kill.
+
+The centrepiece kills an actual ``repro batch`` subprocess with
+``SIGKILL`` mid-catalog and resumes from its journal, proving that:
+
+* every job journalled before the kill is *skipped* on resume (no job
+  runs twice — each completed job has exactly one ``result`` record);
+* a torn final line (the killed-writer signature) is tolerated on read
+  and repaired before the resumed run appends;
+* the finished journal passes :func:`repro.batch.validate_journal` and
+  every artifact hashes to its journalled digest.
+
+The rest covers the forgery guards: tampered artifacts and edited
+digests force a re-run, changed job specs are never smuggled past the
+header's job table, and malformed journals fail loudly.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.batch import (
+    BatchConfig,
+    BatchConfigError,
+    check_artifacts,
+    file_digest,
+    read_journal,
+    run_batch,
+    validate_journal,
+)
+from repro.batch.journal import JournalError, JournalWriter
+from repro.burstmode.benchmarks import TABLE5_ORDER
+
+from tests.batch.util import DEPTH, SMALL, by_id, make_jobs, run
+
+REPO = Path(__file__).resolve().parents[2]
+
+
+def result_lines(journal: Path) -> list[dict]:
+    """Every parseable ``result`` record, in file order."""
+    records = []
+    for line in journal.read_text().splitlines():
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError:
+            continue  # torn tail
+        if record.get("kind") == "result":
+            records.append(record)
+    return records
+
+
+class TestKillAndResume:
+    def test_sigkill_mid_catalog_then_resume(self, tmp_path, ann_cache):
+        outdir = tmp_path / "out"
+        journal = outdir / "batch_journal.jsonl"
+        code = "import sys; from repro.cli import main; sys.exit(main(sys.argv[1:]))"
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(REPO / "src") + os.pathsep + env.get(
+            "PYTHONPATH", ""
+        )
+        proc = subprocess.Popen(
+            [
+                sys.executable, "-c", code,
+                "batch", "--backend", "serial", "--depth", str(DEPTH),
+                "--libraries", "CMOS3",
+                "--output-dir", str(outdir),
+                "--cache-dir", ann_cache,
+            ],
+            env=env,
+            stdout=subprocess.DEVNULL,
+            stderr=subprocess.DEVNULL,
+        )
+        try:
+            # Wait for a prefix of the catalog to be journalled, then
+            # kill the engine without any chance to clean up.
+            give_up = time.monotonic() + 120
+            while time.monotonic() < give_up:
+                if proc.poll() is not None:
+                    break
+                if journal.exists() and len(result_lines(journal)) >= 3:
+                    break
+                time.sleep(0.02)
+            else:
+                pytest.fail("subprocess never journalled three results")
+        finally:
+            if proc.poll() is None:
+                proc.send_signal(signal.SIGKILL)
+            proc.wait()
+
+        completed = result_lines(journal)
+        assert completed, "nothing was journalled before the kill"
+        assert all(r["status"] == "ok" for r in completed)
+        survivors = {r["job_id"] for r in completed}
+
+        jobs = make_jobs(TABLE5_ORDER)
+        report = run_batch(
+            jobs,
+            BatchConfig(
+                backend="serial",
+                journal=str(journal),
+                output_dir=str(outdir),
+                resume=True,
+                cache_dir=ann_cache,
+            ),
+        )
+        assert report.ok
+        assert report.skipped == len(survivors)
+        for job_id in survivors:
+            assert by_id(report, job_id).get("skipped") is True
+
+        # No job ran twice: one result record per pre-kill job, and the
+        # repaired journal now parses end to end.
+        final = result_lines(journal)
+        per_job = {}
+        for record in final:
+            per_job[record["job_id"]] = per_job.get(record["job_id"], 0) + 1
+        assert all(per_job[job_id] == 1 for job_id in survivors)
+        assert sorted(per_job) == sorted(job.job_id for job in jobs)
+        for line in journal.read_text().splitlines():
+            json.loads(line)
+
+        header, results = validate_journal(journal)
+        assert len(results) == len(jobs)
+        assert check_artifacts(results, outdir) == []
+
+
+class TestResume:
+    def test_resume_skips_verified_jobs_and_runs_new_ones(
+        self, tmp_path, ann_cache
+    ):
+        journal = tmp_path / "journal.jsonl"
+        first, _ = run(
+            make_jobs(SMALL), "serial", ann_cache,
+            journal=journal, output_dir=tmp_path,
+        )
+        assert first.ok and first.skipped == 0
+
+        jobs = make_jobs((*SMALL, "dme-opt"))
+        second, metrics = run(
+            jobs, "serial", ann_cache,
+            journal=journal, output_dir=tmp_path, resume=True,
+        )
+        assert second.ok
+        assert second.skipped == 2
+        assert metrics.counter("batch.jobs_skipped").value == 2
+        assert by_id(second, "dme-opt@CMOS3").get("skipped") is None
+        # Skipped results replay the journalled digest verbatim.
+        assert (
+            by_id(second, f"{SMALL[0]}@CMOS3")["digest"]
+            == by_id(first, f"{SMALL[0]}@CMOS3")["digest"]
+        )
+        marker = [
+            json.loads(line)
+            for line in journal.read_text().splitlines()
+            if '"kind":"resume"' in line
+        ]
+        assert marker and marker[0]["skipped"] == 2 and marker[0]["rerun"] == 1
+
+    def test_changed_spec_forces_rerun_and_is_never_smuggled(
+        self, tmp_path, ann_cache
+    ):
+        journal = tmp_path / "journal.jsonl"
+        run(
+            make_jobs(SMALL), "serial", ann_cache,
+            journal=journal, output_dir=tmp_path,
+        )
+        # Same designs, different mapping options: different spec digest.
+        changed = make_jobs(SMALL, max_depth=2)
+        report, _ = run(
+            changed, "serial", ann_cache,
+            journal=journal, output_dir=tmp_path, resume=True,
+        )
+        assert report.ok and report.skipped == 0
+        # The journal now mixes specs that contradict its header's job
+        # table — the validator refuses to bless it.
+        with pytest.raises(JournalError, match="spec digest"):
+            validate_journal(journal)
+
+    def test_tampered_artifact_is_rerun_and_repaired(self, tmp_path, ann_cache):
+        journal = tmp_path / "journal.jsonl"
+        run(
+            make_jobs(SMALL), "serial", ann_cache,
+            journal=journal, output_dir=tmp_path,
+        )
+        _, results = validate_journal(journal)
+        target = f"{SMALL[0]}@CMOS3"
+        artifact = tmp_path / results[target]["artifact"]
+        artifact.write_text(artifact.read_text() + "# tampered\n")
+        problems = check_artifacts(results, tmp_path)
+        assert len(problems) == 1 and "does not hash" in problems[0]
+
+        report, _ = run(
+            make_jobs(SMALL), "serial", ann_cache,
+            journal=journal, output_dir=tmp_path, resume=True,
+        )
+        assert report.ok
+        assert report.skipped == 1  # only the untampered neighbour
+        counts = {}
+        for record in result_lines(journal):
+            counts[record["job_id"]] = counts.get(record["job_id"], 0) + 1
+        assert counts[target] == 2
+        assert counts[f"{SMALL[1]}@CMOS3"] == 1
+        _, fresh = validate_journal(journal)
+        assert check_artifacts(fresh, tmp_path) == []
+        assert file_digest(artifact) == fresh[target]["digest"]
+
+    def test_edited_digest_in_journal_forces_rerun(self, tmp_path, ann_cache):
+        journal = tmp_path / "journal.jsonl"
+        run(
+            make_jobs(SMALL), "serial", ann_cache,
+            journal=journal, output_dir=tmp_path,
+        )
+        target = f"{SMALL[0]}@CMOS3"
+        lines = journal.read_text().splitlines()
+        edited = []
+        for line in lines:
+            record = json.loads(line)
+            if record.get("kind") == "result" and record["job_id"] == target:
+                record["digest"] = "0" * 64
+                line = json.dumps(record, sort_keys=True, separators=(",", ":"))
+            edited.append(line)
+        journal.write_text("\n".join(edited) + "\n")
+
+        # The forged digest no longer matches the artifact, so --check
+        # flags it and resume re-runs exactly that job.
+        _, results = validate_journal(journal)
+        assert any("does not hash" in p for p in check_artifacts(results, tmp_path))
+        report, _ = run(
+            make_jobs(SMALL), "serial", ann_cache,
+            journal=journal, output_dir=tmp_path, resume=True,
+        )
+        assert report.ok and report.skipped == 1
+        _, fresh = validate_journal(journal)
+        assert check_artifacts(fresh, tmp_path) == []
+
+
+class TestJournalFormat:
+    def test_torn_tail_is_tolerated_and_repaired(self, tmp_path, ann_cache):
+        journal = tmp_path / "journal.jsonl"
+        run(
+            make_jobs((SMALL[0],)), "serial", ann_cache,
+            journal=journal, output_dir=tmp_path,
+        )
+        with open(journal, "a", encoding="utf-8") as handle:
+            handle.write('{"kind":"result","job_id":"half-wri')
+        header, results = read_journal(journal)  # tolerated
+        assert f"{SMALL[0]}@CMOS3" in results
+
+        writer = JournalWriter(journal)
+        dropped = writer.repair_tail()
+        assert dropped > 0
+        assert writer.repair_tail() == 0  # idempotent on a clean file
+        for line in journal.read_text().splitlines():
+            json.loads(line)
+
+    def test_mid_file_garbage_raises(self, tmp_path, ann_cache):
+        journal = tmp_path / "journal.jsonl"
+        run(
+            make_jobs(SMALL), "serial", ann_cache,
+            journal=journal, output_dir=tmp_path,
+        )
+        lines = journal.read_text().splitlines()
+        lines.insert(1, "this is not JSON")
+        journal.write_text("\n".join(lines) + "\n")
+        with pytest.raises(JournalError, match="malformed journal line 2"):
+            read_journal(journal)
+
+    def test_missing_header_raises(self, tmp_path):
+        journal = tmp_path / "journal.jsonl"
+        journal.write_text(
+            '{"kind":"result","job_id":"a@L","spec":"x","status":"ok",'
+            '"digest":"d"}\n'
+        )
+        with pytest.raises(JournalError, match="header"):
+            read_journal(journal)
+
+    def test_wrong_schema_raises(self, tmp_path):
+        journal = tmp_path / "journal.jsonl"
+        journal.write_text('{"kind":"header","schema":"repro-batch/v99"}\n')
+        with pytest.raises(JournalError, match="schema"):
+            read_journal(journal)
+
+    def test_writer_rejects_malformed_results(self, tmp_path):
+        writer = JournalWriter(tmp_path / "j.jsonl")
+        with pytest.raises(JournalError, match="status"):
+            writer.write_result({"job_id": "a@L", "spec": "x", "status": "meh"})
+        with pytest.raises(JournalError, match="job_id"):
+            writer.write_result({"status": "ok"})
+
+    def test_duplicate_job_ids_are_rejected(self, ann_cache):
+        jobs = make_jobs((SMALL[0], SMALL[0]))
+        with pytest.raises(BatchConfigError, match="duplicate job ids"):
+            run(jobs, "serial", ann_cache)

@@ -1,0 +1,44 @@
+"""Shared helpers for the batch-engine test-suite.
+
+All batch tests map at :data:`DEPTH` = 3: catalog-scale quality numbers
+at the paper's depth 5 are the perf suite's job, and depth 3 keeps the
+full 11-design catalog near one second per library on the CI box while
+still exercising the identical engine/worker code paths.
+"""
+
+from __future__ import annotations
+
+from repro.batch import BatchConfig, BatchJob, BatchReport, run_batch
+from repro.obs.metrics import MetricsRegistry
+
+SMALL = ("chu-ad-opt", "vanbek-opt")
+DEPTH = 3
+
+
+def make_jobs(
+    designs=SMALL, library: str = "CMOS3", **overrides
+) -> list[BatchJob]:
+    overrides.setdefault("max_depth", DEPTH)
+    return [
+        BatchJob(design=design, library=library, **overrides)
+        for design in designs
+    ]
+
+
+def by_id(report: BatchReport, job_id: str) -> dict:
+    for record in report.results:
+        if record["job_id"] == job_id:
+            return record
+    raise AssertionError(f"{job_id} not in report: "
+                         f"{[r['job_id'] for r in report.results]}")
+
+
+def run(jobs, backend: str, ann_cache, **overrides):
+    """Run a batch with test-friendly defaults; returns (report, metrics)."""
+    metrics = MetricsRegistry()
+    overrides.setdefault("workers", 2)
+    overrides.setdefault("backoff", 0.01)
+    config = BatchConfig(
+        backend=backend, cache_dir=ann_cache, metrics=metrics, **overrides
+    )
+    return run_batch(jobs, config), metrics
