@@ -18,6 +18,17 @@ the paper relies on:
   two-level minimization (Nowick–Dill), synthesis, and the Table-5
   benchmark controllers.
 
+Production surfaces on top of the core:
+
+* :mod:`repro.api` — the frozen ``repro-api/v1`` request/response
+  contract and the one execution facade every entry point routes
+  through;
+* :mod:`repro.batch` — the fault-tolerant batch engine;
+* :mod:`repro.service` — the persistent mapping daemon (``repro
+  serve``) and its HTTP client;
+* :mod:`repro.obs` — tracing, metrics, benchmark snapshots, and the
+  regression gate.
+
 Quickstart::
 
     from repro import Netlist, async_tmap, load_library, verify_mapping
@@ -25,8 +36,17 @@ Quickstart::
     net = Netlist.from_equations({"f": "s*a + s'*b + a*b"})
     result = async_tmap(net, load_library("CMOS3"))
     assert verify_mapping(net, result.mapped).ok
+
+Or through the versioned facade (what the CLI and service speak)::
+
+    from repro import MapRequest, execute_map
+
+    response = execute_map(MapRequest(design="dme", library="CMOS3",
+                                      verify=True))
+    assert response.verify["ok"]
 """
 
+from .api import ApiError, MapRequest, MapResponse, execute_map
 from .boolean import BddManager, Cover, Cube, Expr, parse
 from .burstmode import (
     BurstModeSpec,
@@ -54,6 +74,7 @@ from .network import Netlist, async_tech_decomp, partition, tech_decomp
 __version__ = "1.0.0"
 
 __all__ = [
+    "ApiError",
     "BddManager",
     "BurstModeSpec",
     "Cover",
@@ -62,10 +83,13 @@ __all__ = [
     "HazardAnalysis",
     "Library",
     "LibraryCell",
+    "MapRequest",
+    "MapResponse",
     "MappingOptions",
     "MappingResult",
     "Netlist",
     "__version__",
+    "execute_map",
     "analyze_cover",
     "analyze_expression",
     "async_tech_decomp",

@@ -1,0 +1,89 @@
+"""``repro.api`` — the versioned facade over the mapping pipeline.
+
+The request/response contract (``repro-api/v1``) lives in
+:mod:`repro.api.schema`; the one execution path behind it in
+:mod:`repro.api.facade`.  Quickstart::
+
+    from repro.api import MapRequest, execute_map
+
+    response = execute_map(MapRequest(design="dme", library="CMOS3",
+                                      verify=True))
+    assert response.verify["ok"]
+    open("dme.blif", "w").write(response.blif)
+
+The CLI (``repro map``/``batch``/``explain``), the batch engine's
+workers, and the HTTP service (``repro serve``) all route through this
+module, so the response for a given request is byte-identical no matter
+which entry point issued it.  See ``docs/api.md`` for the payload
+schema and the deprecation policy.
+"""
+
+from .facade import (  # noqa: F401
+    FALLBACK_DEPTH,
+    clear_library_cache,
+    execute_batch,
+    execute_explain,
+    execute_map,
+    execute_verify,
+    netlist_blif,
+    request_netlist,
+    run_map,
+    shared_library,
+    text_digest,
+)
+from .schema import (  # noqa: F401
+    API_SCHEMA,
+    ApiError,
+    BATCH_OPTION_NAMES,
+    BatchRequest,
+    BatchResponse,
+    ExplainRequest,
+    ExplainResponse,
+    FILTER_MODES,
+    MODES,
+    MapRequest,
+    MapResponse,
+    OBJECTIVES,
+    OPTION_FIELDS,
+    OPTION_NAMES,
+    OptionField,
+    VerifyRequest,
+    VerifyResponse,
+    add_option_arguments,
+    option_values_from_args,
+    parse_request,
+)
+
+__all__ = [
+    "API_SCHEMA",
+    "ApiError",
+    "BATCH_OPTION_NAMES",
+    "BatchRequest",
+    "BatchResponse",
+    "ExplainRequest",
+    "ExplainResponse",
+    "FALLBACK_DEPTH",
+    "FILTER_MODES",
+    "MODES",
+    "MapRequest",
+    "MapResponse",
+    "OBJECTIVES",
+    "OPTION_FIELDS",
+    "OPTION_NAMES",
+    "OptionField",
+    "VerifyRequest",
+    "VerifyResponse",
+    "add_option_arguments",
+    "clear_library_cache",
+    "execute_batch",
+    "execute_explain",
+    "execute_map",
+    "execute_verify",
+    "netlist_blif",
+    "option_values_from_args",
+    "parse_request",
+    "request_netlist",
+    "run_map",
+    "shared_library",
+    "text_digest",
+]

@@ -1,0 +1,420 @@
+"""The one execution path behind every ``repro-api/v1`` request.
+
+``execute_map`` is the single implementation the CLI ``map`` command,
+the batch engine's workers, and the HTTP service all call: resolve the
+design and library, build :class:`~repro.mapping.mapper.MappingOptions`
+from the request's option fields, run the mapper under the request's
+cooperative deadline (degrading to the trivial depth-1 cover on
+overrun), and package the result as a :class:`~repro.api.schema.
+MapResponse` whose BLIF text — and hence SHA-256 digest — is
+byte-identical for a given request no matter which entry point issued
+it.
+
+Annotated libraries are cached per process in :func:`shared_library`
+keyed on (name, cache location), so a long-lived caller — the service
+daemon, a batch worker mapping many designs — pays the Table-2
+annotation cost once per library, not once per request.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import io
+import threading
+import time
+from dataclasses import replace
+from typing import Optional, Union
+
+from ..deadline import Deadline, DeadlineExceeded
+from ..library import anncache
+from ..library.library import Library
+from ..network.netlist import Netlist
+from .schema import (
+    ApiError,
+    BatchRequest,
+    BatchResponse,
+    ExplainRequest,
+    ExplainResponse,
+    MapRequest,
+    MapResponse,
+    VerifyRequest,
+    VerifyResponse,
+)
+
+#: Depth the trivial-cover fallback maps at when a deadline fires:
+#: single-node clusters only, which turns the covering DP into a
+#: per-gate cheapest-cell lookup — orders of magnitude faster and
+#: always feasible (decomposition emits only base gates every standard
+#: library covers).
+FALLBACK_DEPTH = 1
+
+
+def netlist_blif(netlist: Netlist) -> str:
+    """The canonical BLIF text of a netlist (the byte-identity form)."""
+    from ..io import write_blif
+
+    buffer = io.StringIO()
+    write_blif(netlist, buffer)
+    return buffer.getvalue()
+
+
+def text_digest(text: str) -> str:
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+# Process-local cache of loaded (and, after first use, annotated)
+# libraries: a long-lived process pays library construction and hazard
+# annotation at most once per (library, cache location), not once per
+# request.  The lock only guards the dict — annotation itself happens
+# inside the mapper under the library's own idempotent flow.
+_LIBRARY_CACHE: dict[tuple[str, str], Library] = {}
+_LIBRARY_LOCK = threading.Lock()
+
+
+def shared_library(name: str, cache_dir: anncache.CacheDir = None) -> Library:
+    """The process-wide warm instance of a standard library."""
+    from ..library.standard import load_library
+
+    key = (name, str(cache_dir))
+    with _LIBRARY_LOCK:
+        library = _LIBRARY_CACHE.get(key)
+        if library is None:
+            library = load_library(name)
+            _LIBRARY_CACHE[key] = library
+    return library
+
+
+def clear_library_cache() -> None:
+    """Drop the warm libraries (tests and cache-dir changes)."""
+    with _LIBRARY_LOCK:
+        _LIBRARY_CACHE.clear()
+
+
+def request_netlist(
+    request: Union[MapRequest, ExplainRequest, VerifyRequest],
+) -> Netlist:
+    """Resolve a request's design — catalog name or inline network."""
+    if request.design is not None:
+        from ..burstmode.benchmarks import CATALOG, synthesize_benchmark
+
+        if request.design not in CATALOG:
+            raise ApiError(f"unknown catalog benchmark {request.design!r}")
+        return synthesize_benchmark(request.design).netlist(request.design)
+    network = request.network
+    assert network is not None
+    try:
+        if "blif" in network:
+            from ..io import read_blif
+
+            netlist = read_blif(io.StringIO(network["blif"]))
+        else:
+            netlist = Netlist.from_equations(
+                dict(network["equations"]),
+                name=str(network.get("name") or "inline"),
+                inputs=list(network["inputs"])
+                if network.get("inputs")
+                else None,
+            )
+    except ApiError:
+        raise
+    except Exception as exc:
+        raise ApiError(f"bad inline network: {exc}") from exc
+    if network.get("name"):
+        netlist.name = str(network["name"])
+    return netlist
+
+
+def _resolve_library(
+    request, library: Optional[Library], cache_dir: anncache.CacheDir
+) -> Library:
+    if library is not None:
+        return library
+    from ..library.standard import ALL_LIBRARIES
+
+    if request.library not in ALL_LIBRARIES:
+        raise ApiError(f"unknown library {request.library!r}")
+    return shared_library(request.library, cache_dir)
+
+
+def _mapping_options(
+    request: MapRequest,
+    *,
+    cache_dir: anncache.CacheDir,
+    tracer,
+    metrics,
+    deadline: Optional[Deadline],
+    max_depth: Optional[int] = None,
+):
+    from ..mapping.mapper import MappingOptions
+
+    input_bursts = None
+    if request.dont_cares:
+        from ..burstmode.benchmarks import synthesize_benchmark
+        from ..mapping.dontcare import synthesis_bursts
+
+        assert request.design is not None  # enforced by MapRequest
+        input_bursts = synthesis_bursts(synthesize_benchmark(request.design))
+    return MappingOptions(
+        max_depth=request.max_depth if max_depth is None else max_depth,
+        max_inputs=request.max_inputs,
+        objective=request.objective,
+        filter_mode=request.filter_mode,
+        workers=request.workers,
+        input_bursts=input_bursts,
+        annotation_cache_dir=cache_dir,
+        tracer=tracer,
+        metrics=metrics,
+        explain=request.explain,
+        deadline=deadline,
+    )
+
+
+def run_map(
+    request: MapRequest,
+    *,
+    library: Optional[Library] = None,
+    network: Optional[Netlist] = None,
+    cache_dir: anncache.CacheDir = None,
+    metrics=None,
+    tracer=None,
+) -> tuple[MapResponse, "MappingResult"]:
+    """Execute one map request; returns the response AND the raw result.
+
+    The raw :class:`~repro.mapping.mapper.MappingResult` carries the
+    in-memory objects (netlists, cover stats, annotation report) the
+    CLI prints from; remote callers only ever see the
+    :class:`MapResponse`.  ``library``/``network`` short-circuit
+    resolution when the caller already holds the objects.
+    """
+    from ..mapping.mapper import map_network
+
+    net = network if network is not None else request_netlist(request)
+    lib = _resolve_library(request, library, cache_dir)
+    deadline = (
+        Deadline(request.deadline_seconds)
+        if request.deadline_seconds is not None
+        else None
+    )
+    options = _mapping_options(
+        request,
+        cache_dir=cache_dir,
+        tracer=tracer,
+        metrics=metrics,
+        deadline=deadline,
+    )
+    fallback = None
+    deadline_site = None
+    try:
+        result = map_network(net, lib, options, mode=request.mode)
+    except DeadlineExceeded as exc:
+        # Graceful degradation: re-map with the trivial depth-1 cover,
+        # which needs no meaningful budget.  Any injected hang already
+        # fired this attempt, so the fallback pass runs clean.
+        fallback = "trivial-cover"
+        deadline_site = exc.site
+        fallback_options = _mapping_options(
+            request,
+            cache_dir=cache_dir,
+            tracer=tracer,
+            metrics=metrics,
+            deadline=None,
+            max_depth=FALLBACK_DEPTH,
+        )
+        result = map_network(net, lib, fallback_options, mode=request.mode)
+    response = _response_from_result(
+        request, result, fallback=fallback, deadline_site=deadline_site
+    )
+    return response, result
+
+
+def execute_map(
+    request: MapRequest,
+    *,
+    library: Optional[Library] = None,
+    network: Optional[Netlist] = None,
+    cache_dir: anncache.CacheDir = None,
+    metrics=None,
+    tracer=None,
+) -> MapResponse:
+    """Execute one ``repro-api/v1`` map request to its response."""
+    response, _ = run_map(
+        request,
+        library=library,
+        network=network,
+        cache_dir=cache_dir,
+        metrics=metrics,
+        tracer=tracer,
+    )
+    return response
+
+
+def _response_from_result(
+    request: MapRequest,
+    result,
+    *,
+    fallback: Optional[str],
+    deadline_site: Optional[str],
+) -> MapResponse:
+    blif = netlist_blif(result.mapped)
+    verify_verdicts = None
+    if request.verify:
+        from ..mapping.verify import verify_mapping
+
+        report = verify_mapping(result.source, result.mapped)
+        verify_verdicts = {
+            "equivalent": bool(report.equivalent),
+            "hazard_safe": bool(report.hazard_safe),
+            "ok": bool(report.ok),
+        }
+    explain_payload = None
+    if request.explain and result.explain is not None:
+        explain_payload = result.explain.to_dict()
+    stats = result.stats
+    annotation = result.annotation_report
+    return MapResponse(
+        status="ok",
+        design=request.design_name,
+        library=result.library.name,
+        mode=result.mode,
+        area=result.area,
+        delay=round(result.delay, 4),
+        cells=int(sum(result.cell_usage().values())),
+        cell_usage={k: int(v) for k, v in sorted(result.cell_usage().items())},
+        cones=stats.cones,
+        matches=stats.matches,
+        filter_invocations=stats.filter_invocations,
+        map_seconds=round(result.elapsed, 4),
+        annotate_seconds=round(result.annotate_elapsed, 4),
+        annotate_source=annotation.source if annotation is not None else None,
+        workers=result.workers,
+        digest=text_digest(blif),
+        blif=blif,
+        fallback=fallback,
+        deadline_site=deadline_site,
+        verify=verify_verdicts,
+        explain=explain_payload,
+    )
+
+
+def execute_explain(
+    request: ExplainRequest,
+    *,
+    library: Optional[Library] = None,
+    cache_dir: anncache.CacheDir = None,
+    metrics=None,
+    tracer=None,
+) -> ExplainResponse:
+    """Map with the explain layer on and render the decision report."""
+    from ..obs.explain import render_explain, validate_explain_payload
+
+    response = execute_map(
+        request.map_request(),
+        library=library,
+        cache_dir=cache_dir,
+        metrics=metrics,
+        tracer=tracer,
+    )
+    payload = response.explain
+    assert payload is not None  # explain=True on the map request
+    summary = validate_explain_payload(payload)
+    rendered = tuple(
+        render_explain(
+            payload,
+            cone=request.cone,
+            limit=request.limit,
+            rejected_only=request.rejected_only,
+        )
+    )
+    return ExplainResponse(
+        design=response.design,
+        library=response.library,
+        summary=summary,
+        rendered=rendered,
+        payload=payload,
+    )
+
+
+def execute_verify(request: VerifyRequest) -> VerifyResponse:
+    """Verify a mapped BLIF against its source design."""
+    from ..io import read_blif
+    from ..mapping.verify import verify_mapping
+
+    source = request_netlist(request)
+    try:
+        mapped = read_blif(io.StringIO(request.mapped_blif))
+    except Exception as exc:
+        raise ApiError(f"bad mapped_blif: {exc}") from exc
+    report = verify_mapping(source, mapped)
+    return VerifyResponse(
+        equivalent=bool(report.equivalent),
+        hazard_safe=bool(report.hazard_safe),
+        ok=bool(report.ok),
+        outputs_checked=report.outputs_checked,
+        transitions_checked=report.transitions_checked,
+        violations=tuple(report.violations),
+    )
+
+
+def execute_batch(
+    request: BatchRequest,
+    *,
+    config=None,
+    cache_dir: anncache.CacheDir = None,
+    metrics=None,
+    tracer=None,
+) -> BatchResponse:
+    """Run a batch request through the fault-tolerant engine.
+
+    ``config`` (a :class:`~repro.batch.engine.BatchConfig`) carries the
+    deployment knobs — backend, pool width, retries, journal — that are
+    not part of the request contract; when omitted a serial,
+    journal-less run is used.
+    """
+    from ..batch.engine import BatchConfig, run_batch
+
+    from ..burstmode.benchmarks import CATALOG
+    from ..library.standard import ALL_LIBRARIES
+
+    unknown = sorted(set(request.designs) - set(CATALOG))
+    if unknown:
+        raise ApiError(f"unknown catalog benchmark(s): {', '.join(unknown)}")
+    bad_libs = sorted(set(request.libraries) - set(ALL_LIBRARIES))
+    if bad_libs:
+        raise ApiError(f"unknown librar{'y' if len(bad_libs) == 1 else 'ies'}: "
+                       f"{', '.join(bad_libs)}")
+    if config is None:
+        config = BatchConfig(cache_dir=cache_dir, metrics=metrics,
+                             tracer=tracer)
+    if request.deadline_seconds is not None and config.deadline is None:
+        config = replace(config, deadline=request.deadline_seconds)
+    report = run_batch(request.to_jobs(), config)
+    results = []
+    for record in report.results:
+        slim = {
+            key: value
+            for key, value in record.items()
+            if key not in ("blif", "explain") or request.include_blif
+        }
+        results.append(slim)
+    return BatchResponse(
+        results=tuple(results),
+        counts=report.counts(),
+        elapsed=round(report.elapsed, 4),
+        backend=report.backend,
+        workers=report.workers,
+    )
+
+
+__all__ = [
+    "FALLBACK_DEPTH",
+    "clear_library_cache",
+    "execute_batch",
+    "execute_explain",
+    "execute_map",
+    "execute_verify",
+    "netlist_blif",
+    "request_netlist",
+    "run_map",
+    "shared_library",
+    "text_digest",
+]

@@ -54,6 +54,16 @@ class ExecutorBackend:
 
     def submit(self, *args, **kwargs) -> Future:
         """Schedule one :func:`~repro.batch.jobs.execute_job` call."""
+        return self.submit_call(execute_job, *args, **kwargs)
+
+    def submit_call(self, fn, /, *args, **kwargs) -> Future:
+        """Schedule an arbitrary callable on the pool.
+
+        The mapping service dispatches its per-request worker through
+        this generic hook so serving and batch share one pool
+        abstraction; on the process backend ``fn`` must be a picklable
+        module-level function.
+        """
         raise NotImplementedError
 
     def restart(self) -> None:
@@ -72,10 +82,10 @@ class SerialBackend(ExecutorBackend):
 
     name = "serial"
 
-    def submit(self, *args, **kwargs) -> Future:
+    def submit_call(self, fn, /, *args, **kwargs) -> Future:
         future: Future = Future()
         try:
-            future.set_result(execute_job(*args, **kwargs))
+            future.set_result(fn(*args, **kwargs))
         except BaseException as exc:  # noqa: BLE001 - mirrored into the future
             future.set_exception(exc)
         return future
@@ -96,10 +106,10 @@ class ThreadBackend(ExecutorBackend):
                 max_workers=self.workers, thread_name_prefix="repro-batch"
             )
 
-    def submit(self, *args, **kwargs) -> Future:
+    def submit_call(self, fn, /, *args, **kwargs) -> Future:
         self.start()
         assert self._pool is not None
-        return self._pool.submit(execute_job, *args, **kwargs)
+        return self._pool.submit(fn, *args, **kwargs)
 
     def restart(self) -> None:
         # Threads cannot be killed; abandon the pool without joining the
@@ -141,10 +151,10 @@ class ProcessBackend(ExecutorBackend):
                 max_workers=self.workers, mp_context=self._context()
             )
 
-    def submit(self, *args, **kwargs) -> Future:
+    def submit_call(self, fn, /, *args, **kwargs) -> Future:
         self.start()
         assert self._pool is not None
-        return self._pool.submit(execute_job, *args, **kwargs)
+        return self._pool.submit(fn, *args, **kwargs)
 
     def restart(self) -> None:
         if self._pool is not None:

@@ -2,41 +2,44 @@
 
 A :class:`BatchJob` is plain data — design name, library name, and the
 mapping knobs — so it crosses process boundaries untouched; the worker
-(:func:`execute_job`) rebuilds the heavyweight objects (netlist,
-annotated library, tracer-free :class:`MappingOptions`) on its side of
-the fence.  Workers return plain dicts for the same reason.
+(:func:`execute_job`) rebuilds the heavyweight objects on its side of
+the fence by routing the job through the :mod:`repro.api` facade
+(:func:`repro.api.facade.execute_map`), the same execution path the CLI
+and the HTTP service use.
 
-Determinism contract: a worker maps with :func:`repro.mapping.mapper.
-map_network` and serializes the result with the same BLIF writer the
-CLI uses, so for a given job spec the returned BLIF text — and hence
-its SHA-256 digest — is byte-identical across backends, worker counts,
-attempt numbers, and processes.  The engine's digest verification and
-the checkpoint journal both lean on that.
+The job's option fields are exactly the batch-carried subset of the
+``repro-api/v1`` schema (:data:`repro.api.schema.BATCH_OPTION_NAMES`)
+— a new mapping option is declared once in ``repro.api`` and flows to
+job specs, CLI flags, and service payloads from there; a guard test
+(``tests/service/test_api.py``) pins the correspondence.
+
+Determinism contract: a worker maps through the facade and serializes
+the result with the same BLIF writer the CLI uses, so for a given job
+spec the returned BLIF text — and hence its SHA-256 digest — is
+byte-identical across backends, worker counts, attempt numbers, and
+processes.  The engine's digest verification and the checkpoint
+journal both lean on that.
 """
 
 from __future__ import annotations
 
 import hashlib
-import io
 import time
 from dataclasses import asdict, dataclass
 from typing import Optional
 
-from ..deadline import Deadline, DeadlineExceeded
+from ..api.facade import (
+    FALLBACK_DEPTH,  # noqa: F401  (re-exported; the engine documents it)
+    execute_map,
+    netlist_blif,  # noqa: F401  (re-exported for tests and callers)
+    shared_library,
+    text_digest,
+)
+from ..api.schema import BATCH_OPTION_NAMES, ApiError, MapRequest, MapResponse
 from ..library import anncache
 from ..library.library import Library
-from ..mapping.mapper import MappingOptions, MappingResult, map_network
-from ..mapping.verify import verify_mapping
-from ..network.netlist import Netlist
 from ..testing import faults
 from ..testing.faults import FaultPlan
-
-#: Depth the trivial-cover fallback maps at when a deadline fires:
-#: single-node clusters only, which turns the covering DP into a
-#: per-gate cheapest-cell lookup — orders of magnitude faster and
-#: always feasible (decomposition emits only base gates every standard
-#: library covers).
-FALLBACK_DEPTH = 1
 
 
 @dataclass(frozen=True)
@@ -47,14 +50,50 @@ class BatchJob:
     library: str
     mode: str = "async"
     max_depth: int = 5
+    max_inputs: int = 8
     objective: str = "area"
     filter_mode: str = "exact"
     verify: bool = False
     explain: bool = False
 
     def __post_init__(self) -> None:
-        if self.mode not in ("async", "sync"):
-            raise ValueError(f"unknown mapping mode {self.mode!r}")
+        # Delegate validation to the repro-api/v1 schema — one rulebook.
+        try:
+            self.to_request()
+        except ApiError as exc:
+            raise ValueError(str(exc)) from exc
+
+    @classmethod
+    def from_request(cls, request: MapRequest) -> "BatchJob":
+        """Derive a job spec from a ``repro-api/v1`` map request."""
+        if request.design is None:
+            raise ApiError("batch jobs need catalog designs, not inline networks")
+        if request.dont_cares:
+            raise ApiError("batch jobs do not support hazard don't-cares")
+        values = {
+            name: getattr(request, name) for name in BATCH_OPTION_NAMES
+        }
+        return cls(
+            design=request.design,
+            library=request.library,
+            verify=request.verify,
+            explain=request.explain,
+            **values,
+        )
+
+    def to_request(
+        self, deadline_seconds: Optional[float] = None
+    ) -> MapRequest:
+        """The ``repro-api/v1`` request this job executes."""
+        values = {name: getattr(self, name) for name in BATCH_OPTION_NAMES}
+        return MapRequest(
+            library=self.library,
+            design=self.design,
+            verify=self.verify,
+            explain=self.explain,
+            deadline_seconds=deadline_seconds,
+            **values,
+        )
 
     @property
     def job_id(self) -> str:
@@ -75,73 +114,41 @@ class BatchJob:
         return f"{stem}.blif"
 
 
-def netlist_blif(netlist: Netlist) -> str:
-    """The canonical BLIF text of a mapped network."""
-    from ..io import write_blif
-
-    buffer = io.StringIO()
-    write_blif(netlist, buffer)
-    return buffer.getvalue()
-
-
-def text_digest(text: str) -> str:
-    return hashlib.sha256(text.encode("utf-8")).hexdigest()
-
-
-# Worker-process-local cache of annotated libraries: with a process
-# backend every worker pays the annotation cost at most once per
-# library (warm from the on-disk cache when one is configured), not
-# once per job.
-_LIBRARY_CACHE: dict[tuple[str, object], Library] = {}
-
-
 def _annotated_library(name: str, cache_dir: anncache.CacheDir) -> Library:
-    from ..library.standard import load_library
-
-    key = (name, str(cache_dir))
-    library = _LIBRARY_CACHE.get(key)
-    if library is None:
-        library = load_library(name)
-        _LIBRARY_CACHE[key] = library
-    return library
+    """Worker-process-local warm library (annotated on first mapping)."""
+    return shared_library(name, cache_dir)
 
 
-def _result_payload(
-    job: BatchJob, result: MappingResult, fallback: Optional[str]
-) -> dict:
-    blif = netlist_blif(result.mapped)
-    digest = text_digest(blif)
-    # A ``corrupt`` fault tears the payload *after* the digest was
-    # computed — exactly what a torn write or bit-flip in transit looks
-    # like to the engine's verification step.
-    blif = faults.corrupt("netlist.build", blif)
-    stats = result.stats
+def _result_payload(job: BatchJob, response: MapResponse) -> dict:
+    """The worker's plain-dict result, from the facade's response.
+
+    A ``corrupt`` fault tears the BLIF *after* the digest was computed —
+    exactly what a torn write or bit-flip in transit looks like to the
+    engine's verification step.
+    """
     payload = {
         "job_id": job.job_id,
         "spec": job.spec_digest(),
         "status": "ok",
-        "digest": digest,
-        "blif": blif,
-        "area": result.area,
-        "delay": round(result.delay, 4),
-        "cells": int(sum(result.cell_usage().values())),
-        "cell_usage": {k: int(v) for k, v in sorted(result.cell_usage().items())},
-        "cones": stats.cones,
-        "matches": stats.matches,
-        "filter_invocations": stats.filter_invocations,
-        "map_seconds": round(result.elapsed, 4),
-        "annotate_seconds": round(result.annotate_elapsed, 4),
-        "fallback": fallback,
+        "digest": response.digest,
+        "blif": faults.corrupt("netlist.build", response.blif),
+        "area": response.area,
+        "delay": response.delay,
+        "cells": response.cells,
+        "cell_usage": response.cell_usage,
+        "cones": response.cones,
+        "matches": response.matches,
+        "filter_invocations": response.filter_invocations,
+        "map_seconds": response.map_seconds,
+        "annotate_seconds": response.annotate_seconds,
+        "fallback": response.fallback,
     }
     if job.verify:
-        report = verify_mapping(result.source, result.mapped)
-        payload["verify"] = {
-            "equivalent": bool(report.equivalent),
-            "hazard_safe": bool(report.hazard_safe),
-            "ok": bool(report.ok),
-        }
-    if job.explain and result.explain is not None:
-        payload["explain"] = result.explain.to_dict()
+        payload["verify"] = response.verify
+    if job.explain and response.explain is not None:
+        payload["explain"] = response.explain
+    if response.deadline_site is not None:
+        payload["deadline_site"] = response.deadline_site
     return payload
 
 
@@ -151,56 +158,29 @@ def execute_job(
     deadline_seconds: Optional[float] = None,
     cache_dir: anncache.CacheDir = None,
     fault_plan: Optional[FaultPlan] = None,
+    metrics=None,
 ) -> dict:
     """Run one job to a plain-dict result (the backend-agnostic worker).
 
     Raises only for errors the engine classifies (``FaultInjected`` is
     transient; anything else is permanent); a deadline overrun is
-    *handled here* by degrading to the trivial depth-1 cover and
-    reporting ``fallback="trivial-cover"`` — graceful degradation, not
-    failure.
+    handled inside the facade by degrading to the trivial depth-1 cover
+    and reporting ``fallback="trivial-cover"`` — graceful degradation,
+    not failure.  ``metrics`` (usable on in-process backends only)
+    routes the run's telemetry into a shared registry; process-pool
+    workers leave it ``None``.
     """
     faults.install_plan(fault_plan, job=job.job_id, attempt=attempt)
     try:
         started = time.perf_counter()
         library = _annotated_library(job.library, cache_dir)
-        deadline = (
-            Deadline(deadline_seconds) if deadline_seconds is not None else None
+        response = execute_map(
+            job.to_request(deadline_seconds),
+            library=library,
+            cache_dir=cache_dir,
+            metrics=metrics,
         )
-        options = MappingOptions(
-            max_depth=job.max_depth,
-            objective=job.objective,
-            filter_mode=job.filter_mode,
-            workers=1,
-            annotation_cache_dir=cache_dir,
-            explain=job.explain,
-            deadline=deadline,
-        )
-        fallback = None
-        try:
-            result = map_network(job.design, library, options, mode=job.mode)
-        except DeadlineExceeded as exc:
-            # Graceful degradation: re-map with the trivial depth-1
-            # cover, which needs no meaningful budget.  The injected
-            # hang (if any) already fired this attempt, so the fallback
-            # pass runs clean.
-            fallback = "trivial-cover"
-            fallback_options = MappingOptions(
-                max_depth=FALLBACK_DEPTH,
-                objective=job.objective,
-                filter_mode=job.filter_mode,
-                workers=1,
-                annotation_cache_dir=cache_dir,
-                explain=job.explain,
-            )
-            result = map_network(
-                job.design, library, fallback_options, mode=job.mode
-            )
-            payload = _result_payload(job, result, fallback)
-            payload["deadline_site"] = exc.site
-            payload["worker_seconds"] = round(time.perf_counter() - started, 4)
-            return payload
-        payload = _result_payload(job, result, fallback)
+        payload = _result_payload(job, response)
         payload["worker_seconds"] = round(time.perf_counter() - started, 4)
         return payload
     finally:

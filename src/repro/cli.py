@@ -18,6 +18,10 @@ Commands mirror the paper's workflows:
 * ``perf``    — replay the Table-5 workload and write the
   ``BENCH_mapping.json`` snapshot that
   ``benchmarks/check_regression.py`` gates against;
+* ``serve``   — run the persistent mapping daemon (HTTP/JSON over the
+  ``repro-api/v1`` contract): libraries, hazard annotations, and
+  matching indexes stay warm across requests; ``map`` and ``batch``
+  take ``--server URL`` to route through it;
 * ``cache``   — inspect or clear the on-disk annotation cache.
 
 ``map`` persists library hazard annotations to a disk cache by default
@@ -36,9 +40,19 @@ import argparse
 import sys
 from typing import Optional, Sequence
 
+from .api import (
+    ApiError,
+    BatchRequest,
+    ExplainRequest,
+    MapRequest,
+    add_option_arguments,
+    execute_explain,
+    netlist_blif,
+    option_values_from_args,
+    run_map,
+)
 from .batch import (
     BatchConfig,
-    BatchJob,
     check_artifacts,
     run_batch,
     validate_journal,
@@ -47,8 +61,6 @@ from .batch.backends import BACKEND_NAMES
 from .burstmode.benchmarks import CATALOG, TABLE5_ORDER, synthesize_benchmark
 from .library import anncache
 from .library.standard import ALL_LIBRARIES, load_library
-from .mapping.dontcare import synthesis_bursts
-from .mapping.mapper import MappingOptions, async_tmap, tmap
 from .mapping.verify import verify_mapping
 from .obs.explain import render_explain, validate_explain_payload
 from .obs.export import (
@@ -156,10 +168,90 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _resolved_cache_dir(args: argparse.Namespace) -> anncache.CacheDir:
+    # DISABLED (not None) so --no-cache also wins over a set
+    # REPRO_ANNOTATION_CACHE environment toggle.
+    return (
+        anncache.DISABLED
+        if args.no_cache
+        else (args.cache_dir or str(anncache.default_cache_root()))
+    )
+
+
+def _map_request(args: argparse.Namespace, network) -> MapRequest:
+    """The ``repro-api/v1`` request a ``repro map`` invocation denotes.
+
+    ``verify`` stays client-side for local runs (the CLI prints the
+    violation list, which the wire response does not carry) but rides
+    in the request for ``--server`` runs.
+    """
+    design = args.design if args.design in CATALOG else None
+    payload = None if design else {"blif": netlist_blif(network)}
+    return MapRequest(
+        library=args.library,
+        design=design,
+        network=payload,
+        dont_cares=args.dont_cares,
+        explain=args.explain is not None,
+        verify=args.verify and args.server is not None,
+        deadline_seconds=args.deadline,
+        **option_values_from_args(args),
+    )
+
+
+def _cmd_map_remote(args: argparse.Namespace, request: MapRequest) -> int:
+    """Send one map request to a running ``repro serve`` instance."""
+    from .service.client import ServiceClient, ServiceError
+
+    for flag, name in ((args.trace, "--trace"), (args.metrics, "--metrics")):
+        if flag:
+            print(f"{name} is not supported with --server", file=sys.stderr)
+            return 2
+    client = ServiceClient(args.server)
+    try:
+        response = client.map(request)
+    except ServiceError as exc:
+        print(f"server error: {exc}", file=sys.stderr)
+        return 1
+    print(
+        f"{response.mode} mapping of {response.design} onto "
+        f"{response.library}: area={response.area:.0f} "
+        f"delay={response.delay:.2f} cpu={response.map_seconds:.2f}s"
+    )
+    print(f"cells: {response.cell_usage}")
+    if response.fallback:
+        print(
+            f"deadline fallback: {response.fallback} "
+            f"(budget ran out at {response.deadline_site})"
+        )
+    if args.explain is not None and response.explain is not None:
+        explain_path = args.explain or f"{response.design}_explain.json"
+        write_explain(explain_path, response.explain)
+        summary = validate_explain_payload(response.explain)
+        print(
+            f"explain: {summary['candidates']} decisions over "
+            f"{summary['cones']} cones "
+            f"({summary['rejected_hazard']} hazard-rejected, "
+            f"{summary['waived_dont_care']} waived) "
+            f"written to {explain_path}"
+        )
+    if response.verify is not None:
+        print(
+            f"verification: equivalent={response.verify['equivalent']} "
+            f"hazard_safe={response.verify['hazard_safe']}"
+        )
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(response.blif)
+        print(f"mapped network written to {args.output}")
+    if response.verify is not None and not response.verify["ok"]:
+        return 1
+    return 0
+
+
 def _cmd_map(args: argparse.Namespace) -> int:
     if args.design in CATALOG:
-        synthesis = synthesize_benchmark(args.design)
-        network = synthesis.netlist(args.design)
+        network = synthesize_benchmark(args.design).netlist(args.design)
     else:
         from .io import read_blif, read_equations
 
@@ -168,41 +260,42 @@ def _cmd_map(args: argparse.Namespace) -> int:
                 network = read_blif(handle)
             else:
                 network = read_equations(handle)
-        synthesis = None
-
-    library = load_library(args.library)
-
-    # DISABLED (not None) so --no-cache also wins over a set
-    # REPRO_ANNOTATION_CACHE environment toggle.
-    cache_dir = (
-        anncache.DISABLED
-        if args.no_cache
-        else (args.cache_dir or str(anncache.default_cache_root()))
-    )
-    tracer = Tracer() if args.trace else None
-    metrics = MetricsRegistry()
-    options = MappingOptions(
-        max_depth=args.depth,
-        objective=args.objective,
-        workers=args.workers,
-        annotation_cache_dir=cache_dir,
-        tracer=tracer,
-        metrics=metrics,
-        explain=args.explain is not None,
-    )
-    if args.dont_cares:
-        if synthesis is None:
+        if args.dont_cares:
             print("--dont-cares requires a catalog benchmark", file=sys.stderr)
             return 2
-        options.input_bursts = synthesis_bursts(synthesis)
 
-    mapper = tmap if args.sync else async_tmap
-    result = mapper(network, library, options)
+    try:
+        request = _map_request(args, network)
+    except ApiError as exc:
+        print(f"bad request: {exc}", file=sys.stderr)
+        return 2
+    if args.server:
+        return _cmd_map_remote(args, request)
+
+    cache_dir = _resolved_cache_dir(args)
+    tracer = Tracer() if args.trace else None
+    metrics = MetricsRegistry()
+    # A one-shot CLI process resolves its library directly (annotation
+    # warmth comes from the disk cache); only long-lived callers — the
+    # service, batch workers — go through the process-wide warm cache.
+    response, result = run_map(
+        request,
+        library=load_library(args.library),
+        network=network,
+        cache_dir=cache_dir,
+        metrics=metrics,
+        tracer=tracer,
+    )
     print(
-        f"{result.mode} mapping of {network.name} onto {library.name}: "
+        f"{result.mode} mapping of {network.name} onto {result.library.name}: "
         f"area={result.area:.0f} delay={result.delay:.2f} "
         f"cpu={result.elapsed:.2f}s"
     )
+    if response.fallback:
+        print(
+            f"deadline fallback: {response.fallback} "
+            f"(budget ran out at {response.deadline_site})"
+        )
     print(f"cells: {result.cell_usage()}")
     if result.annotation_report is not None:
         report = result.annotation_report
@@ -271,6 +364,54 @@ def _cmd_map(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_batch_remote(args: argparse.Namespace, request: BatchRequest) -> int:
+    """Send a batch request to a running ``repro serve`` instance."""
+    from .service.client import ServiceClient, ServiceError
+
+    unsupported = (
+        ("--check", args.check),
+        ("--journal", args.journal),
+        ("--output-dir", args.output_dir),
+        ("--resume", args.resume),
+        ("--bench-snapshot", args.bench_snapshot),
+        ("--inject", args.inject),
+        ("--trace", args.trace),
+    )
+    for name, value in unsupported:
+        if value:
+            print(f"{name} is not supported with --server", file=sys.stderr)
+            return 2
+    client = ServiceClient(args.server)
+    try:
+        response = client.batch(request)
+    except ServiceError as exc:
+        print(f"server error: {exc}", file=sys.stderr)
+        return 1
+    for record in response.results:
+        if record.get("status") == "ok":
+            print(
+                f"  {record['job_id']}: area={record['area']:.0f} "
+                f"cells={record['cells']} "
+                f"{record.get('map_seconds', 0.0):.2f}s"
+            )
+        else:
+            print(
+                f"  {record['job_id']}: {record.get('status', '?').upper()} — "
+                f"{record.get('error', 'no detail')}"
+            )
+    print(
+        f"batch finished in {response.elapsed:.2f}s: "
+        + ", ".join(f"{k}={v}" for k, v in sorted(response.counts.items()) if v)
+    )
+    failed = [r for r in response.results if r.get("status") != "ok"]
+    bad_verify = [
+        r
+        for r in response.results
+        if r.get("status") == "ok" and not r.get("verify", {}).get("ok", True)
+    ]
+    return 1 if failed or bad_verify else 0
+
+
 def _cmd_batch(args: argparse.Namespace) -> int:
     from .batch.journal import JournalError
 
@@ -279,19 +420,21 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     if unknown:
         print(f"unknown benchmark(s): {', '.join(unknown)}", file=sys.stderr)
         return 2
-    jobs = [
-        BatchJob(
-            design=design,
-            library=library,
-            mode="sync" if args.sync else "async",
-            max_depth=args.depth,
-            objective=args.objective,
+    try:
+        request = BatchRequest(
+            designs=tuple(designs),
+            libraries=tuple(args.libraries),
             verify=args.verify,
             explain=args.explain,
+            deadline_seconds=args.deadline,
+            **option_values_from_args(args, exclude=("workers",)),
         )
-        for library in args.libraries
-        for design in designs
-    ]
+    except ApiError as exc:
+        print(f"bad request: {exc}", file=sys.stderr)
+        return 2
+    if args.server:
+        return _cmd_batch_remote(args, request)
+    jobs = request.to_jobs()
 
     journal = args.journal or (
         str(args.output_dir) + "/batch_journal.jsonl" if args.output_dir else None
@@ -385,7 +528,7 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     if report.journal is not None:
         print(f"journal: {report.journal}")
     if args.bench_snapshot:
-        snapshot = report.to_bench_snapshot(max_depth=args.depth)
+        snapshot = report.to_bench_snapshot(max_depth=args.max_depth)
         write_bench_snapshot(args.bench_snapshot, snapshot)
         print(f"bench snapshot written to {args.bench_snapshot}")
     if tracer is not None:
@@ -418,14 +561,18 @@ def _cmd_explain(args: argparse.Namespace) -> int:
     if os.path.exists(args.source):
         payload = load_explain(args.source)
     elif args.source in CATALOG:
-        synthesis = synthesize_benchmark(args.source)
-        network = synthesis.netlist(args.source)
-        library = load_library(args.library)
-        result = async_tmap(
-            network, library, MappingOptions(explain=True)
+        response = execute_explain(
+            ExplainRequest(
+                library=args.library,
+                design=args.source,
+                cone=args.cone,
+                limit=args.limit,
+                rejected_only=args.rejected_only,
+            )
         )
-        assert result.explain is not None
-        payload = result.explain.to_dict()
+        for line in response.rendered:
+            print(line)
+        return 0
     else:
         print(
             f"{args.source}: not an explain JSON file or catalog benchmark",
@@ -510,6 +657,30 @@ def _cmd_perf(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .service.daemon import ServiceConfig, serve
+
+    try:
+        fault_plan = FaultPlan.parse(args.inject) if args.inject else None
+    except ValueError as exc:
+        print(f"bad --inject spec: {exc}", file=sys.stderr)
+        return 2
+    config = ServiceConfig(
+        host=args.host,
+        port=args.port,
+        backend=args.backend,
+        workers=args.workers,
+        queue_limit=args.queue_limit,
+        deadline_seconds=args.deadline,
+        cache_dir=_resolved_cache_dir(args),
+        preload=tuple(args.preload or ()),
+        fault_plan=fault_plan,
+        trace_path=args.trace,
+        metrics_path=args.metrics_file,
+    )
+    return serve(config)
+
+
 def _cmd_cache(args: argparse.Namespace) -> int:
     root = args.cache_dir or str(anncache.default_cache_root())
     entries = anncache.cache_entries(root)
@@ -546,9 +717,9 @@ def build_parser() -> argparse.ArgumentParser:
     map_cmd = sub.add_parser("map", help="map a design onto a library")
     map_cmd.add_argument("design", help="catalog benchmark, .eqn, or .blif file")
     map_cmd.add_argument("library", choices=sorted(ALL_LIBRARIES))
-    map_cmd.add_argument("--sync", action="store_true", help="use the sync baseline")
-    map_cmd.add_argument("--depth", type=int, default=5)
-    map_cmd.add_argument("--objective", choices=["area", "delay"], default="area")
+    # Option flags (--sync/--depth/--max-inputs/--objective/--filter-mode/
+    # --workers) are derived from the repro-api/v1 declaration table.
+    add_option_arguments(map_cmd)
     map_cmd.add_argument(
         "--dont-cares",
         action="store_true",
@@ -557,10 +728,16 @@ def build_parser() -> argparse.ArgumentParser:
     map_cmd.add_argument("--verify", action="store_true")
     map_cmd.add_argument("--output", help="write the mapped network as BLIF")
     map_cmd.add_argument(
-        "--workers",
-        type=int,
-        default=1,
-        help="parallel cone-covering threads (0 = one per CPU)",
+        "--deadline",
+        type=float,
+        default=None,
+        help="budget in seconds; overruns degrade to the trivial "
+        "depth-1 cover",
+    )
+    map_cmd.add_argument(
+        "--server",
+        metavar="URL",
+        help="send the request to a running `repro serve` instance",
     )
     map_cmd.add_argument(
         "--no-cache",
@@ -639,9 +816,14 @@ def build_parser() -> argparse.ArgumentParser:
         default=0.5,
         help="base backoff seconds, doubled per attempt (default: 0.5)",
     )
-    batch.add_argument("--sync", action="store_true", help="use the sync baseline")
-    batch.add_argument("--depth", type=int, default=5)
-    batch.add_argument("--objective", choices=["area", "delay"], default="area")
+    # Shared option flags from the repro-api/v1 table; `--workers` is
+    # excluded because on batch it is the pool width (declared above).
+    add_option_arguments(batch, exclude=("workers",))
+    batch.add_argument(
+        "--server",
+        metavar="URL",
+        help="send the batch to a running `repro serve` instance",
+    )
     batch.add_argument(
         "--verify",
         action="store_true",
@@ -772,6 +954,75 @@ def build_parser() -> argparse.ArgumentParser:
         help="print the aggregated metrics snapshot",
     )
     perf.set_defaults(func=_cmd_perf)
+
+    serve_cmd = sub.add_parser(
+        "serve",
+        help="run the persistent mapping service (HTTP/JSON, repro-api/v1)",
+    )
+    serve_cmd.add_argument("--host", default="127.0.0.1")
+    serve_cmd.add_argument(
+        "--port",
+        type=int,
+        default=8347,
+        help="listen port (0 = an ephemeral port, reported at startup)",
+    )
+    serve_cmd.add_argument(
+        "--backend",
+        choices=BACKEND_NAMES,
+        default="threads",
+        help="request-execution backend (default: threads — shares the "
+        "warm library cache and metrics registry)",
+    )
+    serve_cmd.add_argument(
+        "--workers",
+        type=int,
+        default=2,
+        help="executor pool width (default: 2)",
+    )
+    serve_cmd.add_argument(
+        "--queue-limit",
+        type=int,
+        default=8,
+        help="max requests admitted at once; beyond it clients get 429",
+    )
+    serve_cmd.add_argument(
+        "--deadline",
+        type=float,
+        default=None,
+        help="default per-request budget in seconds; overruns degrade "
+        "to the trivial depth-1 cover",
+    )
+    serve_cmd.add_argument(
+        "--preload",
+        nargs="*",
+        choices=sorted(ALL_LIBRARIES),
+        help="libraries to load, annotate, and index at boot",
+    )
+    serve_cmd.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="skip the on-disk library-annotation cache",
+    )
+    serve_cmd.add_argument(
+        "--cache-dir", help="annotation cache location (default: ~/.cache/repro-tmap)"
+    )
+    serve_cmd.add_argument(
+        "--inject",
+        action="append",
+        metavar="KIND@SITE[#JOB][*TIMES]",
+        help="install a deterministic fault plan (smoke tests only)",
+    )
+    serve_cmd.add_argument(
+        "--trace",
+        metavar="FILE",
+        help="write the service's repro-trace/v1 span forest at shutdown",
+    )
+    serve_cmd.add_argument(
+        "--metrics-file",
+        metavar="FILE",
+        help="write the repro-metrics/v1 snapshot at shutdown",
+    )
+    serve_cmd.set_defaults(func=_cmd_serve)
 
     cache_cmd = sub.add_parser(
         "cache", help="inspect or clear the annotation cache"

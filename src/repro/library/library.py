@@ -172,6 +172,10 @@ class Library:
             metrics.gauge("annotate.source").set(report.source)
             metrics.gauge("annotate.cells").set(report.cells)
             metrics.gauge("annotate.hazardous").set(report.hazardous)
+            # Counters (not gauges): the serving benchmark proves warm
+            # requests skip annotation by asserting these stay flat.
+            metrics.counter("library.annotate.calls").inc()
+            metrics.counter(f"library.annotate.{report.source}").inc()
         return report
 
     def _annotate_hazards(

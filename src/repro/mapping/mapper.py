@@ -24,8 +24,9 @@ from __future__ import annotations
 
 import os
 import time
+import warnings
 from concurrent.futures import ThreadPoolExecutor
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
 from typing import Optional, Union
 
 from ..deadline import Deadline
@@ -138,17 +139,61 @@ class MappingResult:
         }
 
 
+#: Historical aliases for option keywords the pre-``repro.api`` surface
+#: accepted in various spellings.
+_LEGACY_ALIASES = {"depth": "max_depth"}
+
+
+def _legacy_options(
+    options: Optional[MappingOptions], legacy: dict, caller: str
+) -> MappingOptions:
+    """Translate deprecated per-knob keywords into ``MappingOptions``.
+
+    The supported names are exactly the ``MappingOptions`` fields (plus
+    a few historical aliases); anything else is a ``TypeError``, and
+    any use at all warns — new code should pass a
+    :class:`repro.api.MapRequest` through :func:`repro.api.execute_map`
+    or build ``MappingOptions`` explicitly.
+    """
+    if not legacy:
+        return options or MappingOptions()
+    if options is not None:
+        raise TypeError(
+            f"{caller}() takes either an options object or legacy keyword "
+            "options, not both"
+        )
+    known = {f.name for f in fields(MappingOptions)}
+    normalized = {_LEGACY_ALIASES.get(key, key): value
+                  for key, value in legacy.items()}
+    unknown = sorted(set(normalized) - known)
+    if unknown:
+        raise TypeError(
+            f"{caller}() got unexpected keyword argument(s): "
+            f"{', '.join(unknown)}"
+        )
+    warnings.warn(
+        f"passing mapping options to {caller}() as keywords "
+        f"({', '.join(sorted(legacy))}) is deprecated; pass a "
+        "repro.api.MapRequest to repro.api.execute_map, or a "
+        "MappingOptions object",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+    return MappingOptions(**normalized)
+
+
 def tmap(
     network: Netlist,
     library: Library,
     options: Optional[MappingOptions] = None,
+    **legacy,
 ) -> MappingResult:
     """Synchronous technology mapping (the CERES-style baseline).
 
     Uses the simplifying decomposition and ignores hazards entirely —
     hence unsafe for fundamental-mode asynchronous designs (Figure 3).
     """
-    options = options or MappingOptions()
+    options = _legacy_options(options, legacy, "tmap")
     tracer = options.tracer or NULL_TRACER
     metrics = options.metrics if options.metrics is not None else MetricsRegistry()
     start = time.perf_counter()
@@ -172,6 +217,7 @@ def async_tmap(
     network: Netlist,
     library: Library,
     options: Optional[MappingOptions] = None,
+    **legacy,
 ) -> MappingResult:
     """Asynchronous technology mapping (the paper's contribution).
 
@@ -179,7 +225,7 @@ def async_tmap(
     and screens hazardous-cell matches, so the mapped network has no
     logic hazard absent from the source (Theorem 3.2).
     """
-    options = options or MappingOptions()
+    options = _legacy_options(options, legacy, "async_tmap")
     tracer = options.tracer or NULL_TRACER
     metrics = options.metrics if options.metrics is not None else MetricsRegistry()
     start = time.perf_counter()
@@ -219,6 +265,7 @@ def map_network(
     library: Union[str, Library],
     options: Optional[MappingOptions] = None,
     mode: str = "async",
+    **legacy,
 ) -> MappingResult:
     """Map one design onto one library — the single-job entry point.
 
@@ -240,6 +287,7 @@ def map_network(
         library = load_library(library)
     if mode not in ("async", "sync"):
         raise ValueError(f"unknown mapping mode {mode!r}")
+    options = _legacy_options(options, legacy, "map_network")
     mapper = async_tmap if mode == "async" else tmap
     return mapper(design, library, options)
 

@@ -22,6 +22,7 @@ Three on-disk contracts live here, each version-stamped:
 from __future__ import annotations
 
 import json
+import os
 from pathlib import Path
 from typing import Optional, Union
 
@@ -32,6 +33,27 @@ from .tracer import Tracer
 TRACE_SCHEMA = "repro-trace/v1"
 METRICS_SCHEMA = "repro-metrics/v1"
 BENCH_SCHEMA = "repro-bench-mapping/v1"
+
+
+def _atomic_write_text(path: Path, text: str) -> Path:
+    """Write ``text`` to ``path`` atomically (temp file + ``os.replace``).
+
+    A crash mid-write (SIGKILL, disk-full, the service being drained)
+    must never leave a consumer — ``repro explain``,
+    ``check_regression.py``, a resumed batch — reading a torn JSON
+    document.  Same pattern as the annotation cache's ``_write_payload``;
+    the temp name is PID-qualified so concurrent writers to the same
+    target cannot clobber each other's staging files.
+    """
+    path = Path(path)
+    tmp = path.with_name(f"{path.name}.{os.getpid()}.tmp")
+    try:
+        tmp.write_text(text)
+        os.replace(tmp, path)
+    finally:
+        if tmp.exists():  # pragma: no cover - only reached on write failure
+            tmp.unlink()
+    return path
 
 
 def trace_to_dict(
@@ -49,9 +71,9 @@ def write_trace(
     metrics: Optional[MetricsRegistry] = None,
 ) -> Path:
     """Write a trace (and optional metrics snapshot) as pretty JSON."""
-    path = Path(path)
-    path.write_text(json.dumps(trace_to_dict(tracer, metrics), indent=2) + "\n")
-    return path
+    return _atomic_write_text(
+        Path(path), json.dumps(trace_to_dict(tracer, metrics), indent=2) + "\n"
+    )
 
 
 def metrics_to_dict(metrics: MetricsRegistry) -> dict:
@@ -59,9 +81,9 @@ def metrics_to_dict(metrics: MetricsRegistry) -> dict:
 
 
 def write_metrics(path: Union[str, Path], metrics: MetricsRegistry) -> Path:
-    path = Path(path)
-    path.write_text(json.dumps(metrics_to_dict(metrics), indent=2) + "\n")
-    return path
+    return _atomic_write_text(
+        Path(path), json.dumps(metrics_to_dict(metrics), indent=2) + "\n"
+    )
 
 
 def write_bench_snapshot(path: Union[str, Path], snapshot: dict) -> Path:
@@ -70,9 +92,9 @@ def write_bench_snapshot(path: Union[str, Path], snapshot: dict) -> Path:
         raise ValueError(
             f"benchmark snapshot must carry schema {BENCH_SCHEMA!r}"
         )
-    path = Path(path)
-    path.write_text(json.dumps(snapshot, indent=2, sort_keys=True) + "\n")
-    return path
+    return _atomic_write_text(
+        Path(path), json.dumps(snapshot, indent=2, sort_keys=True) + "\n"
+    )
 
 
 def load_bench_snapshot(path: Union[str, Path]) -> dict:
@@ -106,9 +128,9 @@ def write_explain(
     """
     payload = explain_to_dict(log)
     validate_explain_payload(payload)
-    path = Path(path)
-    path.write_text(json.dumps(payload, indent=2) + "\n")
-    return path
+    return _atomic_write_text(
+        Path(path), json.dumps(payload, indent=2) + "\n"
+    )
 
 
 def load_explain(path: Union[str, Path]) -> dict:

@@ -1,0 +1,134 @@
+"""``ServiceClient`` — the stdlib HTTP client for ``repro serve``.
+
+The CLI (``repro map --server``/``repro batch --server``), the service
+tests, and the smoke harness all talk to the daemon through this one
+class, so the wire contract (``repro-api/v1`` payloads over JSON/HTTP)
+is exercised the same way everywhere.  Built on ``urllib.request`` —
+the service stack adds no dependencies.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import Optional, Union
+
+from ..api.schema import (
+    BatchRequest,
+    BatchResponse,
+    ExplainRequest,
+    ExplainResponse,
+    MapRequest,
+    MapResponse,
+    VerifyRequest,
+    VerifyResponse,
+)
+
+
+class ServiceError(RuntimeError):
+    """A non-2xx verdict from the service (or a transport failure)."""
+
+    def __init__(
+        self,
+        status: int,
+        message: str,
+        retry_after: Optional[float] = None,
+    ) -> None:
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+        self.message = message
+        #: Parsed ``Retry-After`` header on 429/503 verdicts, else None.
+        self.retry_after = retry_after
+
+
+class ServiceClient:
+    """A thin, synchronous client for one service instance."""
+
+    def __init__(self, base_url: str, timeout: float = 60.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    # -- transport --------------------------------------------------
+
+    def _request(self, method: str, path: str, payload: Optional[dict]) -> dict:
+        url = f"{self.base_url}{path}"
+        data = None
+        headers = {"Accept": "application/json"}
+        if payload is not None:
+            data = json.dumps(payload).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        request = urllib.request.Request(
+            url, data=data, headers=headers, method=method
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as resp:
+                return json.loads(resp.read().decode("utf-8"))
+        except urllib.error.HTTPError as exc:
+            body = exc.read().decode("utf-8", errors="replace")
+            try:
+                message = json.loads(body).get("error", body)
+            except ValueError:
+                message = body or exc.reason
+            retry_after = exc.headers.get("Retry-After")
+            raise ServiceError(
+                exc.code,
+                str(message),
+                float(retry_after) if retry_after else None,
+            ) from None
+        except urllib.error.URLError as exc:
+            raise ServiceError(0, f"cannot reach {url}: {exc.reason}") from exc
+
+    def _post(self, path: str, payload: dict) -> dict:
+        return self._request("POST", path, payload)
+
+    # -- typed endpoints --------------------------------------------
+
+    def map(self, request: Union[MapRequest, dict]) -> MapResponse:
+        payload = request.to_payload() if isinstance(request, MapRequest) else request
+        return MapResponse.from_payload(self._post("/v1/map", payload))
+
+    def batch(self, request: Union[BatchRequest, dict]) -> BatchResponse:
+        payload = (
+            request.to_payload() if isinstance(request, BatchRequest) else request
+        )
+        return BatchResponse.from_payload(self._post("/v1/batch", payload))
+
+    def explain(self, request: Union[ExplainRequest, dict]) -> ExplainResponse:
+        payload = (
+            request.to_payload() if isinstance(request, ExplainRequest) else request
+        )
+        return ExplainResponse.from_payload(self._post("/v1/explain", payload))
+
+    def verify(self, request: Union[VerifyRequest, dict]) -> VerifyResponse:
+        payload = (
+            request.to_payload() if isinstance(request, VerifyRequest) else request
+        )
+        return VerifyResponse.from_payload(self._post("/v1/verify", payload))
+
+    # -- operational endpoints --------------------------------------
+
+    def health(self) -> dict:
+        return self._request("GET", "/healthz", None)
+
+    def metrics(self) -> dict:
+        """The service's ``repro-metrics/v1`` snapshot document."""
+        return self._request("GET", "/metrics", None)
+
+    def wait_ready(self, timeout: float = 10.0, interval: float = 0.05) -> dict:
+        """Poll ``/healthz`` until the service answers (boot handshake)."""
+        deadline = time.monotonic() + timeout
+        last: Optional[ServiceError] = None
+        while time.monotonic() < deadline:
+            try:
+                return self.health()
+            except ServiceError as exc:
+                last = exc
+                time.sleep(interval)
+        raise ServiceError(
+            0, f"service at {self.base_url} not ready after {timeout}s: {last}"
+        )
+
+
+__all__ = ["ServiceClient", "ServiceError"]

@@ -1,0 +1,435 @@
+"""The persistent mapping daemon behind ``repro serve``.
+
+Architecture: a :class:`MappingService` owns the warm state — the
+process-wide annotated-library cache (:func:`repro.api.shared_library`),
+a :class:`~repro.obs.metrics.MetricsRegistry`, a tracer — and an
+:class:`~repro.batch.backends.ExecutorBackend` pool that request
+handlers dispatch onto via the generic
+:meth:`~repro.batch.backends.ExecutorBackend.submit_call` hook.  The
+HTTP layer (:class:`_Handler` on a ``ThreadingHTTPServer``) is a thin
+shell: it decodes the body, hands ``(method, path, payload)`` to
+:meth:`MappingService.handle`, and writes the JSON verdict back.
+
+Operational contracts:
+
+* **Admission control** — at most ``queue_limit`` requests are admitted
+  (queued + running); the next one is answered ``429`` with a
+  ``Retry-After`` header rather than piling onto the pool.
+* **Budgets** — requests without an explicit ``deadline_seconds``
+  inherit the service default; overruns degrade inside the facade to
+  the trivial depth-1 cover (``fallback="trivial-cover"``), never to an
+  error.
+* **Graceful drain** — SIGTERM/SIGINT flips the service to draining
+  (new requests get ``503``), waits for in-flight requests to finish,
+  then stops the listener and writes the trace/metrics artifacts.
+* **Telemetry** — every request runs under a ``service.request`` span
+  and bumps ``service.requests[.{endpoint}]`` counters plus a
+  ``service.request_seconds`` histogram; mapping work shares the
+  service registry on in-process backends, so warm-vs-cold annotation
+  behaviour is visible in ``/metrics`` (``library.annotate.*``).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import signal
+import threading
+import time
+from contextlib import contextmanager
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from pathlib import Path
+from typing import Optional, Union
+
+from ..api.facade import (
+    execute_batch,
+    execute_explain,
+    execute_map,
+    execute_verify,
+    shared_library,
+)
+from ..api.schema import (
+    ApiError,
+    BatchRequest,
+    ExplainRequest,
+    MapRequest,
+    VerifyRequest,
+    parse_request,
+)
+from ..library import anncache
+from ..obs.export import metrics_to_dict, write_metrics, write_trace
+from ..obs.metrics import MetricsRegistry
+from ..obs.tracer import Tracer
+from ..testing import faults
+from ..testing.faults import FaultPlan
+
+#: Seconds a 429'd client is told to back off before retrying.
+RETRY_AFTER_SECONDS = 1
+
+#: Endpoint path -> the request kind it accepts.
+ENDPOINT_KINDS = {
+    "/v1/map": MapRequest,
+    "/v1/batch": BatchRequest,
+    "/v1/explain": ExplainRequest,
+    "/v1/verify": VerifyRequest,
+}
+
+
+@dataclasses.dataclass(frozen=True)
+class ServiceConfig:
+    """Deployment knobs for one ``repro serve`` instance."""
+
+    host: str = "127.0.0.1"
+    #: Port 0 binds an ephemeral port (tests); the bound port is
+    #: reported by :attr:`MappingService.port` and the startup banner.
+    port: int = 8347
+    #: Executor substrate for request work: ``serial|threads|processes``.
+    #: ``threads`` is the serving default — workers share the warm
+    #: library cache and the service metrics registry; ``processes``
+    #: trades both away for covering parallelism.
+    backend: str = "threads"
+    workers: int = 2
+    #: Max requests admitted at once (queued + running); beyond it, 429.
+    queue_limit: int = 8
+    #: Default per-request budget; ``None`` means unbounded.
+    deadline_seconds: Optional[float] = None
+    cache_dir: anncache.CacheDir = None
+    #: Libraries to load, hazard-annotate, and index at boot so even the
+    #: first request skips the once-per-library phases.
+    preload: tuple = ()
+    #: Deterministic fault plan (tests and drills only).
+    fault_plan: Optional[FaultPlan] = None
+    #: Artifacts written at shutdown (after drain), if set.
+    trace_path: Optional[Union[str, Path]] = None
+    metrics_path: Optional[Union[str, Path]] = None
+
+
+def _execute_request(
+    request,
+    deadline_seconds: Optional[float] = None,
+    cache_dir: anncache.CacheDir = None,
+    fault_plan: Optional[FaultPlan] = None,
+    metrics: Optional[MetricsRegistry] = None,
+) -> dict:
+    """Run one parsed API request to its response payload.
+
+    Module-level and argument-picklable on purpose: this is the
+    function the service submits to its executor backend, and on the
+    process backend it crosses a pickle boundary (``metrics`` must then
+    be ``None`` — a registry cannot be shared across processes).
+    """
+    faults.install_plan(fault_plan, job=getattr(request, "design", None) or "-",
+                        attempt=1)
+    try:
+        if isinstance(request, MapRequest):
+            if request.deadline_seconds is None and deadline_seconds is not None:
+                request = dataclasses.replace(
+                    request, deadline_seconds=deadline_seconds
+                )
+            response = execute_map(
+                request, cache_dir=cache_dir, metrics=metrics
+            )
+        elif isinstance(request, ExplainRequest):
+            if request.deadline_seconds is None and deadline_seconds is not None:
+                request = dataclasses.replace(
+                    request, deadline_seconds=deadline_seconds
+                )
+            response = execute_explain(
+                request, cache_dir=cache_dir, metrics=metrics
+            )
+        elif isinstance(request, VerifyRequest):
+            response = execute_verify(request)
+        elif isinstance(request, BatchRequest):
+            if request.deadline_seconds is None and deadline_seconds is not None:
+                request = dataclasses.replace(
+                    request, deadline_seconds=deadline_seconds
+                )
+            response = execute_batch(
+                request, cache_dir=cache_dir, metrics=metrics
+            )
+        else:  # pragma: no cover - ENDPOINT_KINDS guards the dispatch
+            raise ApiError(f"unsupported request type {type(request).__name__}")
+        return response.to_payload()
+    finally:
+        faults.clear_plan()
+
+
+class MappingService:
+    """Warm mapping state plus the request dispatcher (HTTP-agnostic)."""
+
+    def __init__(self, config: Optional[ServiceConfig] = None) -> None:
+        self.config = config or ServiceConfig()
+        from ..batch.backends import create_backend
+
+        self.metrics = MetricsRegistry()
+        self.tracer = Tracer()
+        self.backend = create_backend(self.config.backend, self.config.workers)
+        self._admission = threading.BoundedSemaphore(self.config.queue_limit)
+        self._inflight = 0
+        self._state_lock = threading.Lock()
+        self._idle = threading.Condition(self._state_lock)
+        self._draining = False
+        self._server: Optional[ThreadingHTTPServer] = None
+        self.started_at = time.time()
+
+    # -- warm state -------------------------------------------------
+
+    def preload(self) -> None:
+        """Load, annotate, and index the configured libraries at boot."""
+        for name in self.config.preload:
+            with self.tracer.span("service.preload", library=name):
+                library = shared_library(name, self.config.cache_dir)
+                if not library.annotated:
+                    library.annotate_hazards(
+                        cache_dir=self.config.cache_dir,
+                        tracer=self.tracer,
+                        metrics=self.metrics,
+                    )
+                library.build_matching_indexes()
+
+    # -- request dispatch -------------------------------------------
+
+    @property
+    def draining(self) -> bool:
+        with self._state_lock:
+            return self._draining
+
+    @property
+    def inflight(self) -> int:
+        with self._state_lock:
+            return self._inflight
+
+    def handle(self, method: str, path: str, payload: Optional[dict]):
+        """Dispatch one request; returns ``(status, body, headers)``."""
+        endpoint = path.rstrip("/") or "/"
+        if method == "GET" and endpoint == "/healthz":
+            return 200, self._health(), {}
+        if method == "GET" and endpoint == "/metrics":
+            return 200, metrics_to_dict(self.metrics), {}
+        kind = ENDPOINT_KINDS.get(endpoint)
+        if kind is None or method != "POST":
+            return 404, {"error": f"no such endpoint: {method} {path}"}, {}
+        return self._dispatch(endpoint, kind, payload)
+
+    def _health(self) -> dict:
+        with self._state_lock:
+            status = "draining" if self._draining else "ok"
+            inflight = self._inflight
+        return {
+            "status": status,
+            "inflight": inflight,
+            "queue_limit": self.config.queue_limit,
+            "backend": self.backend.name,
+            "workers": self.config.workers,
+            "uptime_seconds": round(time.time() - self.started_at, 3),
+        }
+
+    def _dispatch(self, endpoint: str, kind, payload: Optional[dict]):
+        name = endpoint.rsplit("/", 1)[-1]
+        self.metrics.counter("service.requests").inc()
+        self.metrics.counter(f"service.requests.{name}").inc()
+        if self.draining:
+            self.metrics.counter("service.rejected.503").inc()
+            return 503, {"error": "service is draining"}, {
+                "Retry-After": str(RETRY_AFTER_SECONDS)
+            }
+        if payload is None:
+            self.metrics.counter("service.errors").inc()
+            return 400, {"error": "request body must be a JSON object"}, {}
+        try:
+            request = parse_request(payload)
+            if not isinstance(request, kind):
+                raise ApiError(
+                    f"{endpoint} expects a {kind.kind!r} request, "
+                    f"got {payload.get('kind')!r}"
+                )
+        except ApiError as exc:
+            self.metrics.counter("service.errors").inc()
+            return 400, {"error": str(exc)}, {}
+        if not self._admission.acquire(blocking=False):
+            self.metrics.counter("service.rejected.429").inc()
+            return 429, {"error": "request queue is full"}, {
+                "Retry-After": str(RETRY_AFTER_SECONDS)
+            }
+        with self._state_lock:
+            self._inflight += 1
+        started = time.perf_counter()
+        try:
+            with self.tracer.span(
+                "service.request", endpoint=name,
+                design=getattr(request, "design", None),
+                library=getattr(request, "library", None),
+            ):
+                # A process pool cannot share the registry (or the fault
+                # plan's thread-local state) across the pickle fence.
+                in_process = not self.backend.supports_crash_isolation
+                future = self.backend.submit_call(
+                    _execute_request,
+                    request,
+                    self.config.deadline_seconds,
+                    self.config.cache_dir,
+                    self.config.fault_plan if in_process else None,
+                    self.metrics if in_process else None,
+                )
+                body = future.result()
+            if body.get("fallback"):
+                self.metrics.counter("service.fallbacks").inc()
+            return 200, body, {}
+        except ApiError as exc:
+            self.metrics.counter("service.errors").inc()
+            return 400, {"error": str(exc)}, {}
+        except Exception as exc:  # noqa: BLE001 - reported, not raised
+            self.metrics.counter("service.errors").inc()
+            return 500, {"error": f"{type(exc).__name__}: {exc}"}, {}
+        finally:
+            self.metrics.histogram("service.request_seconds").observe(
+                time.perf_counter() - started
+            )
+            self._admission.release()
+            with self._idle:
+                self._inflight -= 1
+                if self._inflight == 0:
+                    self._idle.notify_all()
+
+    # -- lifecycle --------------------------------------------------
+
+    @property
+    def url(self) -> str:
+        assert self._server is not None, "service is not listening"
+        host, port = self._server.server_address[:2]
+        return f"http://{host}:{port}"
+
+    @property
+    def port(self) -> int:
+        assert self._server is not None, "service is not listening"
+        return self._server.server_address[1]
+
+    def start(self) -> ThreadingHTTPServer:
+        """Bind the listener (without entering ``serve_forever``)."""
+        self.preload()
+        handler = _make_handler(self)
+        server = ThreadingHTTPServer(
+            (self.config.host, self.config.port), handler
+        )
+        # Drain correctness: handler threads must be joinable so
+        # server_close() blocks until in-flight responses are written.
+        server.daemon_threads = False
+        server.block_on_close = True
+        self._server = server
+        return server
+
+    def drain(self) -> None:
+        """Stop admitting work, wait for in-flight requests to finish."""
+        with self._idle:
+            self._draining = True
+            while self._inflight:
+                self._idle.wait()
+        self.backend.shutdown()
+
+    def shutdown(self) -> None:
+        """Drain, stop the listener, and write the telemetry artifacts."""
+        self.drain()
+        if self._server is not None:
+            self._server.shutdown()
+        if self.config.trace_path is not None:
+            write_trace(self.config.trace_path, self.tracer, self.metrics)
+        if self.config.metrics_path is not None:
+            write_metrics(self.config.metrics_path, self.metrics)
+
+    @contextmanager
+    def running(self):
+        """In-process serving context (tests and benchmarks)."""
+        server = self.start()
+        thread = threading.Thread(
+            target=server.serve_forever, name="repro-serve", daemon=True
+        )
+        thread.start()
+        try:
+            yield self
+        finally:
+            self.shutdown()
+            server.server_close()
+            thread.join(timeout=10)
+
+
+def _make_handler(service: MappingService):
+    class _Handler(BaseHTTPRequestHandler):
+        protocol_version = "HTTP/1.1"
+
+        def log_message(self, format, *args):  # noqa: A002 - stdlib name
+            pass  # the tracer is the access log
+
+        def _reply(self, status: int, body: dict, headers: dict) -> None:
+            data = json.dumps(body).encode("utf-8")
+            self.send_response(status)
+            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Length", str(len(data)))
+            for key, value in headers.items():
+                self.send_header(key, value)
+            self.end_headers()
+            self.wfile.write(data)
+            # One request per connection: a drained server must not sit
+            # on idle keep-alive sockets waiting for a timeout.
+            self.close_connection = True
+
+        def do_GET(self) -> None:  # noqa: N802 - stdlib dispatch name
+            status, body, headers = service.handle("GET", self.path, None)
+            self._reply(status, body, headers)
+
+        def do_POST(self) -> None:  # noqa: N802 - stdlib dispatch name
+            length = int(self.headers.get("Content-Length") or 0)
+            raw = self.rfile.read(length) if length else b""
+            try:
+                payload = json.loads(raw.decode("utf-8")) if raw else None
+                if payload is not None and not isinstance(payload, dict):
+                    payload = None
+            except (ValueError, UnicodeDecodeError):
+                payload = None
+            status, body, headers = service.handle("POST", self.path, payload)
+            self._reply(status, body, headers)
+
+    return _Handler
+
+
+def serve(config: Optional[ServiceConfig] = None) -> int:
+    """Run the daemon until SIGTERM/SIGINT; returns an exit status.
+
+    Prints ``serving on http://HOST:PORT`` once the socket is bound (the
+    CLI test and the smoke harness both wait for that line), then blocks
+    in ``serve_forever``.  On signal the shutdown sequence runs on a
+    helper thread — drain, stop the listener, write artifacts — while
+    the main thread falls out of ``serve_forever`` and joins handlers
+    via ``server_close``.
+    """
+    service = MappingService(config)
+    server = service.start()
+    stop = threading.Event()
+
+    def _signal_shutdown(signum, frame):  # noqa: ARG001 - signal signature
+        if not stop.is_set():
+            stop.set()
+            threading.Thread(
+                target=service.shutdown, name="repro-serve-drain"
+            ).start()
+
+    previous = {}
+    for sig in (signal.SIGTERM, signal.SIGINT):
+        previous[sig] = signal.signal(sig, _signal_shutdown)
+    print(f"serving on {service.url}", flush=True)
+    try:
+        server.serve_forever()
+    finally:
+        server.server_close()
+        for sig, handler in previous.items():
+            signal.signal(sig, handler)
+    print("drained; bye", flush=True)
+    return 0
+
+
+__all__ = [
+    "ENDPOINT_KINDS",
+    "MappingService",
+    "RETRY_AFTER_SECONDS",
+    "ServiceConfig",
+    "serve",
+]

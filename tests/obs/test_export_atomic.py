@@ -1,0 +1,90 @@
+"""Atomicity of the obs JSON exports (temp file + ``os.replace``).
+
+A reader polling one of these artifacts — the regression gate on
+``BENCH_mapping.json``, ``repro explain`` on a decision log, the smoke
+harness on a trace — must never observe a torn document, even if the
+writer dies mid-write or several processes write the same target.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.obs.export import (
+    BENCH_SCHEMA,
+    _atomic_write_text,
+    load_bench_snapshot,
+    write_bench_snapshot,
+    write_metrics,
+    write_trace,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracer import Tracer
+
+
+def _registry() -> MetricsRegistry:
+    registry = MetricsRegistry()
+    registry.counter("requests").inc()
+    return registry
+
+
+class TestAtomicWrite:
+    def test_no_staging_files_survive_success(self, tmp_path):
+        target = tmp_path / "out.json"
+        _atomic_write_text(target, "{}\n")
+        assert target.read_text() == "{}\n"
+        assert [p.name for p in tmp_path.iterdir()] == ["out.json"]
+
+    def test_replaces_existing_content(self, tmp_path):
+        target = tmp_path / "out.json"
+        target.write_text("old")
+        _atomic_write_text(target, "new")
+        assert target.read_text() == "new"
+
+    def test_failed_replace_leaves_target_and_no_tmp(self, tmp_path,
+                                                     monkeypatch):
+        target = tmp_path / "out.json"
+        target.write_text("previous")
+
+        def _boom(src, dst):
+            raise OSError("disk full")
+
+        monkeypatch.setattr(os, "replace", _boom)
+        with pytest.raises(OSError, match="disk full"):
+            _atomic_write_text(target, "half-writ")
+        monkeypatch.undo()
+        # The reader's view is intact and no staging litter remains.
+        assert target.read_text() == "previous"
+        assert [p.name for p in tmp_path.iterdir()] == ["out.json"]
+
+
+class TestExportersUseAtomicWrites:
+    def test_trace_export_over_existing_file(self, tmp_path):
+        target = tmp_path / "trace.json"
+        target.write_text("not json at all")
+        tracer = Tracer()
+        with tracer.span("s"):
+            pass
+        write_trace(target, tracer, metrics=_registry())
+        payload = json.loads(target.read_text())
+        assert payload["spans"]
+        assert payload["metrics"]["requests"]["value"] == 1
+
+    def test_metrics_export_round_trips(self, tmp_path):
+        target = tmp_path / "metrics.json"
+        write_metrics(target, _registry())
+        payload = json.loads(target.read_text())
+        assert payload["schema"] == "repro-metrics/v1"
+
+    def test_bench_snapshot_schema_check_precedes_write(self, tmp_path):
+        target = tmp_path / "bench.json"
+        target.write_text("untouched")
+        with pytest.raises(ValueError):
+            write_bench_snapshot(target, {"schema": "wrong"})
+        assert target.read_text() == "untouched"
+        snapshot = {"schema": BENCH_SCHEMA, "benchmarks": {}}
+        write_bench_snapshot(target, snapshot)
+        assert load_bench_snapshot(target)["schema"] == BENCH_SCHEMA

@@ -1,0 +1,53 @@
+"""Fixtures for the service tests: hermetic in-process daemons.
+
+Each test gets factory-fresh libraries (both the ``lru_cache``'d
+standard-library constructors and the facade's process-wide warm cache
+are cleared), so cold-vs-warm annotation behaviour is deterministic no
+matter which tests ran before.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api.facade import clear_library_cache
+from repro.library import anncache, standard
+from repro.service import MappingService, ServiceConfig
+from repro.service.client import ServiceClient
+
+
+@pytest.fixture(autouse=True)
+def fresh_libraries():
+    def _reset() -> None:
+        clear_library_cache()
+        for factory in standard.ALL_LIBRARIES.values():
+            factory.cache_clear()
+
+    _reset()
+    yield
+    _reset()
+
+
+@pytest.fixture
+def make_service():
+    """Factory for running in-process services (ephemeral ports).
+
+    Returns ``(service, client)`` pairs; every service is drained and
+    closed at teardown in reverse creation order.
+    """
+    active = []
+
+    def _make(**kwargs):
+        kwargs.setdefault("port", 0)
+        # Hermetic: tests must not read or write the user's annotation
+        # cache unless they opt in with an explicit cache_dir.
+        kwargs.setdefault("cache_dir", anncache.DISABLED)
+        service = MappingService(ServiceConfig(**kwargs))
+        context = service.running()
+        context.__enter__()
+        active.append(context)
+        return service, ServiceClient(service.url)
+
+    yield _make
+    for context in reversed(active):
+        context.__exit__(None, None, None)

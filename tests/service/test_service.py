@@ -1,0 +1,213 @@
+"""Behavioural tests for the in-process mapping service.
+
+The load-bearing guarantees: responses are byte-identical to direct
+``map_network`` runs even under concurrency; a warm service never
+re-annotates a library (the ``library.annotate.calls`` counter stays
+flat); admission control answers ``429`` when the queue is full;
+deadline overruns degrade to the trivial cover over HTTP; and drain
+finishes in-flight work while refusing new work with ``503``.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.api import MapRequest, VerifyRequest, netlist_blif
+from repro.service.client import ServiceError
+from repro.service.daemon import RETRY_AFTER_SECONDS
+from repro.testing.faults import FaultPlan
+
+DESIGNS = ("dme", "vanbek-opt", "chu-ad-opt", "dme")
+
+
+class TestMappingParity:
+    def test_concurrent_requests_match_sequential_map_network(
+        self, make_service
+    ):
+        service, client = make_service(workers=3, queue_limit=16)
+        requests = [
+            MapRequest(design=design, library="CMOS3") for design in DESIGNS
+        ]
+        with ThreadPoolExecutor(max_workers=len(requests)) as pool:
+            responses = list(pool.map(client.map, requests))
+
+        from repro.mapping.mapper import MappingOptions, map_network
+
+        for request, response in zip(requests, responses):
+            result = map_network(
+                request.design, "CMOS3", MappingOptions(), mode="async"
+            )
+            assert response.blif == netlist_blif(result.mapped)
+            assert response.area == result.area
+            assert response.cells == sum(result.cell_usage().values())
+
+    def test_warm_requests_skip_annotation_entirely(self, make_service):
+        service, client = make_service()
+        first = client.map(MapRequest(design="dme", library="CMOS3"))
+        second = client.map(MapRequest(design="dme", library="CMOS3"))
+        assert first.blif == second.blif
+        assert first.digest == second.digest
+        assert first.annotate_source == "cold"
+        # The second response did no annotation work at all.
+        assert second.annotate_source is None
+        assert second.annotate_seconds == 0.0
+        metrics = client.metrics()["metrics"]
+        assert metrics["library.annotate.calls"]["value"] == 1
+        assert metrics["service.requests.map"]["value"] == 2
+
+    def test_preload_pays_annotation_before_first_request(self, make_service):
+        service, client = make_service(preload=("CMOS3",))
+        response = client.map(MapRequest(design="dme", library="CMOS3"))
+        assert response.annotate_source is None  # already warm at boot
+        metrics = client.metrics()["metrics"]
+        assert metrics["library.annotate.calls"]["value"] == 1
+
+
+class TestAdmissionAndDeadlines:
+    def test_queue_full_answers_429(self, make_service):
+        plan = FaultPlan.parse(["hang@cover.cone"], hang_seconds=30.0)
+        service, client = make_service(
+            workers=1, queue_limit=1, fault_plan=plan
+        )
+        slow = MapRequest(
+            design="dme", library="CMOS3", deadline_seconds=2.0
+        )
+        holder: dict = {}
+
+        def _slow_call():
+            holder["response"] = client.map(slow)
+
+        thread = threading.Thread(target=_slow_call)
+        thread.start()
+        try:
+            # Wait until the slow request actually occupies the queue slot.
+            for _ in range(200):
+                if service.inflight >= 1:
+                    break
+                threading.Event().wait(0.01)
+            assert service.inflight >= 1
+            with pytest.raises(ServiceError) as info:
+                client.map(MapRequest(design="dme", library="CMOS3"))
+            assert info.value.status == 429
+            assert info.value.retry_after == RETRY_AFTER_SECONDS
+        finally:
+            thread.join(timeout=30)
+        # The admitted request still finished — degraded, not dropped.
+        response = holder["response"]
+        assert response.fallback == "trivial-cover"
+        metrics = client.metrics()["metrics"]
+        assert metrics["service.rejected.429"]["value"] == 1
+
+    def test_deadline_overrun_degrades_over_http(self, make_service):
+        plan = FaultPlan.parse(["hang@cover.cone"], hang_seconds=30.0)
+        service, client = make_service(fault_plan=plan)
+        response = client.map(
+            MapRequest(design="dme", library="CMOS3", deadline_seconds=0.5)
+        )
+        assert response.status == "ok"
+        assert response.fallback == "trivial-cover"
+        assert response.deadline_site == "cover.cone"
+        metrics = client.metrics()["metrics"]
+        assert metrics["service.fallbacks"]["value"] == 1
+
+    def test_service_default_deadline_applies(self, make_service):
+        plan = FaultPlan.parse(["hang@annotate.library"], hang_seconds=30.0)
+        service, client = make_service(
+            fault_plan=plan, deadline_seconds=0.5
+        )
+        response = client.map(MapRequest(design="dme", library="CMOS3"))
+        assert response.fallback == "trivial-cover"
+        assert response.deadline_site == "annotate.library"
+
+
+class TestProtocol:
+    def test_bad_payloads_answer_400(self, make_service):
+        service, client = make_service()
+        with pytest.raises(ServiceError) as info:
+            client._post("/v1/map", {"schema": "repro-api/v1",
+                                     "kind": "map"})
+        assert info.value.status == 400
+        # Wrong kind for the endpoint.
+        with pytest.raises(ServiceError) as info:
+            client._post(
+                "/v1/verify",
+                MapRequest(design="dme", library="CMOS3").to_payload(),
+            )
+        assert info.value.status == 400
+        assert "verify" in info.value.message
+        # Not JSON at all.
+        with pytest.raises(ServiceError) as info:
+            client._request("POST", "/v1/map", None)
+        assert info.value.status == 400
+
+    def test_unknown_endpoint_answers_404(self, make_service):
+        service, client = make_service()
+        with pytest.raises(ServiceError) as info:
+            client._request("GET", "/v1/nonsense", None)
+        assert info.value.status == 404
+
+    def test_metrics_counters_match_request_mix(self, make_service):
+        service, client = make_service()
+        mapped = client.map(MapRequest(design="dme", library="CMOS3"))
+        client.map(MapRequest(design="dme", library="CMOS3", verify=True))
+        verdict = client.verify(
+            VerifyRequest(design="dme", mapped_blif=mapped.blif)
+        )
+        assert verdict.ok
+        with pytest.raises(ServiceError):
+            client._post("/v1/map", {"schema": "repro-api/v1"})
+        metrics = client.metrics()["metrics"]
+        assert metrics["service.requests"]["value"] == 4
+        assert metrics["service.requests.map"]["value"] == 3
+        assert metrics["service.requests.verify"]["value"] == 1
+        assert metrics["service.errors"]["value"] == 1
+        assert metrics["service.request_seconds"]["count"] == 3
+
+    def test_health_reports_shape(self, make_service):
+        service, client = make_service(workers=3, queue_limit=5)
+        health = client.health()
+        assert health["status"] == "ok"
+        assert health["inflight"] == 0
+        assert health["queue_limit"] == 5
+        assert health["backend"] == "threads"
+        assert health["workers"] == 3
+
+
+class TestDrain:
+    def test_drain_finishes_inflight_and_rejects_new(self, make_service):
+        plan = FaultPlan.parse(["hang@cover.cone"], hang_seconds=30.0)
+        service, client = make_service(fault_plan=plan, queue_limit=4)
+        holder: dict = {}
+
+        def _slow_call():
+            holder["response"] = client.map(
+                MapRequest(design="dme", library="CMOS3",
+                           deadline_seconds=2.0)
+            )
+
+        thread = threading.Thread(target=_slow_call)
+        thread.start()
+        for _ in range(200):
+            if service.inflight >= 1:
+                break
+            threading.Event().wait(0.01)
+        assert service.inflight >= 1
+
+        drainer = threading.Thread(target=service.drain)
+        drainer.start()
+        for _ in range(200):
+            if service.draining:
+                break
+            threading.Event().wait(0.01)
+        with pytest.raises(ServiceError) as info:
+            client.map(MapRequest(design="dme", library="CMOS3"))
+        assert info.value.status == 503
+        drainer.join(timeout=30)
+        thread.join(timeout=30)
+        assert not drainer.is_alive()
+        # The in-flight request completed during the drain.
+        assert holder["response"].status == "ok"
+        assert service.inflight == 0
