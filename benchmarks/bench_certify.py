@@ -1,0 +1,115 @@
+"""Cost of independent certification relative to mapping itself.
+
+The conformance certifier re-proves equivalence and hazard containment
+from scratch (BDD + truth table + event-lattice oracle per transition),
+so it is allowed to cost real time — but it must stay *deployable* as a
+batch post-pass.  Budget, asserted per benchmark: certification wall
+time <= max(2x the mapping wall time, an absolute floor) — the floor
+absorbs timer noise on designs that map in a millisecond.
+
+The run is recorded as a ``repro-bench-mapping/v1`` snapshot at
+``benchmarks/results/BENCH_certify.json`` so certify cost is tracked
+alongside the mapping numbers.  Run with::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_certify.py -s
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.burstmode.benchmarks import synthesize_benchmark
+from repro.conformance import certify_mapping
+from repro.hazards.cache import clear_global_cache
+from repro.library import anncache
+from repro.mapping.mapper import MappingOptions, async_tmap
+from repro.obs.export import BENCH_SCHEMA, write_bench_snapshot
+from repro.reporting import render_table
+
+from .conftest import RESULTS_DIR, emit
+
+#: Mid-sized slice spanning exhaustive (small-support) and sampled
+#: (8-variable support) certifier paths.
+WORKLOAD = ("chu-ad-opt", "vanbek-opt", "dme-fast", "pe-send-ifc")
+DEPTH = 3
+#: Certify may cost up to this multiple of the map wall time ...
+RELATIVE_BUDGET = 2.0
+#: ... or this many seconds outright, whichever is larger.  The floor
+#: covers designs that map in milliseconds but certify with tens of
+#: thousands of oracle calls (dme-fast: ~0.9s on the reference box),
+#: with headroom for slower shared CI hardware.
+ABSOLUTE_FLOOR = 3.0
+
+
+def test_certify_cost_within_budget(annotated_libraries):
+    library = annotated_libraries["CMOS3"]
+    rows = []
+    snapshot_rows: dict[str, dict] = {}
+    violations = []
+    for name in WORKLOAD:
+        network = synthesize_benchmark(name).netlist(name)
+        clear_global_cache()
+        options = MappingOptions(
+            max_depth=DEPTH, annotation_cache_dir=anncache.DISABLED
+        )
+        map_start = time.perf_counter()
+        result = async_tmap(network, library, options)
+        map_seconds = time.perf_counter() - map_start
+
+        certify_start = time.perf_counter()
+        certificate = certify_mapping(network, result.mapped, library)
+        certify_seconds = time.perf_counter() - certify_start
+
+        budget = max(RELATIVE_BUDGET * map_seconds, ABSOLUTE_FLOOR)
+        within = certify_seconds <= budget
+        if not within:
+            violations.append(
+                f"{name}: certify {certify_seconds:.2f}s > "
+                f"budget {budget:.2f}s (map {map_seconds:.2f}s)"
+            )
+        assert certificate.certified, certificate.violations
+        rows.append(
+            (
+                name,
+                f"{map_seconds:.3f}s",
+                f"{certify_seconds:.3f}s",
+                f"{certify_seconds / max(map_seconds, 1e-9):.1f}x",
+                certificate.transitions_checked,
+                "ok" if within else "OVER",
+            )
+        )
+        snapshot_rows[name] = {
+            "area": result.area,
+            "cells": len(list(result.mapped.gates())),
+            "map_seconds": round(map_seconds, 4),
+            "certify_seconds": round(certify_seconds, 4),
+            "certify_transitions": certificate.transitions_checked,
+            "certify_verdict": certificate.verdict,
+            "cache": {"hit_rate": 0.0},
+        }
+
+    emit(
+        "bench_certify",
+        render_table(
+            ["Benchmark", "Map", "Certify", "Ratio", "Transitions", "Budget"],
+            rows,
+            title=(
+                "Certification cost (budget: max("
+                f"{RELATIVE_BUDGET:.0f}x map, {ABSOLUTE_FLOOR:.0f}s))"
+            ),
+        ),
+    )
+    RESULTS_DIR.mkdir(exist_ok=True)
+    write_bench_snapshot(
+        RESULTS_DIR / "BENCH_certify.json",
+        {
+            "schema": BENCH_SCHEMA,
+            "library": library.name,
+            "workers": 1,
+            "max_depth": DEPTH,
+            "annotate_seconds": 0.0,
+            "annotate_source": "session-warm",
+            "benchmarks": snapshot_rows,
+        },
+    )
+    assert not violations, "; ".join(violations)

@@ -1,0 +1,130 @@
+#!/usr/bin/env python
+"""CI smoke for the conformance subsystem: fuzz, certify, reject.
+
+Runs, against the CMOS3 library:
+
+* ``--iterations`` seeded fuzz cases (half clean, half hazardized) —
+  every expectation failure is shrunk and written as a reproducer;
+* catalog spot-checks: a handful of Table-5 designs are mapped and
+  must certify with zero rejections;
+* a seeded-hazard rejection check: ``repro.testing.faults.seed_hazard``
+  plants a Theorem-3.2 violation in a real mapped netlist, and the
+  certifier must reject it with a glitching, replayed counterexample.
+
+On any failure the shrunk reproducer (``repro-corpus/v1``) is written
+to ``--reproducer`` for CI artifact upload, and the exit code is 1.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/conformance_smoke.py \
+        [--iterations 12] [--seed 0] [--reproducer conformance_repro.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.burstmode.benchmarks import synthesize_benchmark  # noqa: E402
+from repro.conformance import certify_mapping  # noqa: E402
+from repro.conformance.fuzz import (  # noqa: E402
+    fuzz,
+    write_corpus_entry,
+)
+from repro.library import anncache  # noqa: E402
+from repro.library.standard import load_library  # noqa: E402
+from repro.mapping.mapper import MappingOptions, map_network  # noqa: E402
+from repro.testing.faults import seed_hazard  # noqa: E402
+
+SPOT_CHECKS = ("chu-ad-opt", "vanbek-opt", "dme-fast", "pe-send-ifc")
+DEPTH = 3
+
+
+def _fail(message: str) -> None:
+    print(f"conformance smoke FAILED: {message}", file=sys.stderr)
+    raise SystemExit(1)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--iterations", type=int, default=12)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--library", default="CMOS3")
+    parser.add_argument("--reproducer", default="conformance_repro.json")
+    args = parser.parse_args(argv)
+
+    library = load_library(args.library)
+    library.annotate_hazards()
+
+    # 1. Seeded fuzz: clean cases must certify, hazardized must reject.
+    for hazardize in (False, True):
+        label = "hazardized" if hazardize else "clean"
+        report = fuzz(
+            args.iterations,
+            seed=args.seed,
+            library=args.library,
+            hazardize=hazardize,
+            log=lambda line: print(f"  {line}"),
+        )
+        print(
+            f"fuzz[{label}]: {report.iterations} case(s), "
+            f"{report.certified} certified, {report.rejected} rejected, "
+            f"{report.seeded} seeded, {report.elapsed:.2f}s"
+        )
+        if report.failures:
+            minimal, certificate = report.failures[0]
+            write_corpus_entry(args.reproducer, minimal)
+            print(f"shrunk reproducer written to {args.reproducer}")
+            _fail(
+                f"{len(report.failures)} fuzz expectation failure(s); "
+                f"first: {minimal.name} -> {certificate.verdict} "
+                f"{certificate.violations[:2]}"
+            )
+        if hazardize and report.seeded == 0:
+            _fail("hazardize pass seeded nothing — harness is toothless")
+
+    # 2. Catalog spot-checks: real mappings must certify.
+    for name in SPOT_CHECKS:
+        source = synthesize_benchmark(name).netlist(name)
+        options = MappingOptions(
+            max_depth=DEPTH, annotation_cache_dir=anncache.DISABLED
+        )
+        mapped = map_network(source, library, options).mapped
+        certificate = certify_mapping(source, mapped, library)
+        print(
+            f"certify[{name}]: {certificate.verdict} "
+            f"({certificate.transitions_checked} transitions, "
+            f"{certificate.elapsed:.2f}s)"
+        )
+        if not certificate.certified:
+            _fail(f"{name} rejected: {certificate.violations[:3]}")
+
+    # 3. A planted hazard in a real netlist must be caught.
+    source = synthesize_benchmark("chu-ad-opt").netlist("chu-ad-opt")
+    options = MappingOptions(
+        max_depth=DEPTH, annotation_cache_dir=anncache.DISABLED
+    )
+    mapped = map_network(source, library, options).mapped
+    seeded = seed_hazard(mapped, reference=source, seed=args.seed)
+    if seeded is None:
+        _fail("seed_hazard found nothing seedable in chu-ad-opt")
+    certificate = certify_mapping(source, seeded.netlist, library)
+    print(f"seeded-hazard check: {seeded.describe()} -> {certificate.verdict}")
+    if certificate.certified:
+        _fail("certifier accepted a netlist with a planted hazard")
+    refutations = [
+        cx for cx in certificate.counterexamples if not cx.source_hazard
+    ]
+    if not refutations or not refutations[0].replay.get("glitched"):
+        _fail("rejection lacks a glitching replayed counterexample")
+
+    print("conformance smoke passed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -22,10 +22,12 @@ from .facade import (  # noqa: F401
     FALLBACK_DEPTH,
     clear_library_cache,
     execute_batch,
+    execute_certify,
     execute_explain,
     execute_map,
     execute_verify,
     netlist_blif,
+    read_blif_text,
     request_netlist,
     run_map,
     shared_library,
@@ -37,6 +39,8 @@ from .schema import (  # noqa: F401
     BATCH_OPTION_NAMES,
     BatchRequest,
     BatchResponse,
+    CertifyRequest,
+    CertifyResponse,
     ExplainRequest,
     ExplainResponse,
     FILTER_MODES,
@@ -60,6 +64,8 @@ __all__ = [
     "BATCH_OPTION_NAMES",
     "BatchRequest",
     "BatchResponse",
+    "CertifyRequest",
+    "CertifyResponse",
     "ExplainRequest",
     "ExplainResponse",
     "FALLBACK_DEPTH",
@@ -76,10 +82,12 @@ __all__ = [
     "add_option_arguments",
     "clear_library_cache",
     "execute_batch",
+    "execute_certify",
     "execute_explain",
     "execute_map",
     "execute_verify",
     "netlist_blif",
+    "read_blif_text",
     "option_values_from_args",
     "parse_request",
     "request_netlist",

@@ -33,6 +33,8 @@ from .schema import (
     ApiError,
     BatchRequest,
     BatchResponse,
+    CertifyRequest,
+    CertifyResponse,
     ExplainRequest,
     ExplainResponse,
     MapRequest,
@@ -91,7 +93,7 @@ def clear_library_cache() -> None:
 
 
 def request_netlist(
-    request: Union[MapRequest, ExplainRequest, VerifyRequest],
+    request: Union[MapRequest, ExplainRequest, VerifyRequest, CertifyRequest],
 ) -> Netlist:
     """Resolve a request's design — catalog name or inline network."""
     if request.design is not None:
@@ -355,6 +357,68 @@ def execute_verify(request: VerifyRequest) -> VerifyResponse:
     )
 
 
+def execute_certify(
+    request: CertifyRequest,
+    *,
+    cache_dir: anncache.CacheDir = None,
+    metrics=None,
+    tracer=None,
+) -> CertifyResponse:
+    """Independently certify a mapped BLIF against its source design.
+
+    Resolution follows :func:`execute_verify` exactly (same catalog /
+    inline-network / BLIF path); the check itself runs in
+    :mod:`repro.conformance.certifier`, which shares no code with the
+    mapper's matching/covering machinery.
+    """
+    from ..conformance.certifier import certify_mapping
+
+    source = request_netlist(request)
+    try:
+        mapped = read_blif_text(request.mapped_blif)
+    except Exception as exc:
+        raise ApiError(f"bad mapped_blif: {exc}") from exc
+    library = None
+    if request.library is not None:
+        from ..library.standard import ALL_LIBRARIES
+
+        if request.library not in ALL_LIBRARIES:
+            raise ApiError(f"unknown library {request.library!r}")
+        library = shared_library(request.library, cache_dir)
+    certificate = certify_mapping(
+        source,
+        mapped,
+        library,
+        exhaustive_limit=request.exhaustive_limit,
+        samples=request.samples,
+        seed=request.seed,
+        metrics=metrics,
+        tracer=tracer,
+    )
+    return CertifyResponse(
+        verdict=certificate.verdict,
+        certified=certificate.certified,
+        equivalent=certificate.equivalent,
+        hazard_safe=certificate.hazard_safe,
+        outputs_checked=certificate.outputs_checked,
+        transitions_checked=certificate.transitions_checked,
+        replays=certificate.replays,
+        evidence_digest=certificate.evidence_digest,
+        violations=tuple(certificate.violations),
+        counterexamples=tuple(
+            c.to_dict() for c in certificate.counterexamples
+        ),
+        certificate=certificate.to_dict(),
+    )
+
+
+def read_blif_text(text: str) -> Netlist:
+    """Parse BLIF text into a netlist (the inverse of ``netlist_blif``)."""
+    from ..io import read_blif
+
+    return read_blif(io.StringIO(text))
+
+
 def execute_batch(
     request: BatchRequest,
     *,
@@ -409,10 +473,12 @@ __all__ = [
     "FALLBACK_DEPTH",
     "clear_library_cache",
     "execute_batch",
+    "execute_certify",
     "execute_explain",
     "execute_map",
     "execute_verify",
     "netlist_blif",
+    "read_blif_text",
     "request_netlist",
     "run_map",
     "shared_library",

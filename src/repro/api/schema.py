@@ -299,7 +299,13 @@ def parse_request(payload: Mapping) -> "_Payload":
     """Parse any ``repro-api/v1`` request payload by its ``kind``."""
     kinds = {
         cls.kind: cls
-        for cls in (MapRequest, BatchRequest, ExplainRequest, VerifyRequest)
+        for cls in (
+            MapRequest,
+            BatchRequest,
+            ExplainRequest,
+            VerifyRequest,
+            CertifyRequest,
+        )
     }
     if not isinstance(payload, Mapping):
         raise ApiError("request payload must be a JSON object")
@@ -519,6 +525,40 @@ class VerifyRequest(_Payload):
         _validate_network(self.network)
 
 
+@dataclass(frozen=True)
+class CertifyRequest(_Payload):
+    """Independently certify a mapped BLIF against its source design.
+
+    Same resolution shape as :class:`VerifyRequest` — ``design`` names a
+    catalog benchmark or ``network`` carries the source inline — but the
+    check runs in :mod:`repro.conformance`, which shares no code with
+    the mapper's match/cover/cache machinery.  ``library`` additionally
+    enables the cell-binding check for netlists whose gates carry cell
+    references (BLIF round-trips drop them, so it is optional).
+    """
+
+    kind = "certify"
+
+    mapped_blif: str
+    design: Optional[str] = None
+    network: Optional[dict] = None
+    library: Optional[str] = None
+    exhaustive_limit: int = 6
+    samples: int = 150
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.mapped_blif:
+            raise ApiError("mapped_blif is required")
+        if (self.design is None) == (self.network is None):
+            raise ApiError("exactly one of design or network is required")
+        _validate_network(self.network)
+        if self.exhaustive_limit < 1:
+            raise ApiError("exhaustive_limit must be >= 1")
+        if self.samples < 1:
+            raise ApiError("samples must be >= 1")
+
+
 # ----------------------------------------------------------------------
 # Responses
 # ----------------------------------------------------------------------
@@ -623,11 +663,43 @@ class VerifyResponse(_Payload):
         object.__setattr__(self, "violations", tuple(self.violations))
 
 
+@dataclass(frozen=True)
+class CertifyResponse(_Payload):
+    """The ``repro-cert/v1`` verdict plus its headline fields.
+
+    ``certificate`` is the full certificate document (schema owned by
+    :mod:`repro.conformance.certifier`); the flat fields mirror its
+    headline entries so clients can gate without digging into it.
+    """
+
+    kind = "certify_response"
+
+    verdict: str
+    certified: bool
+    equivalent: bool
+    hazard_safe: bool
+    outputs_checked: int
+    transitions_checked: int
+    replays: int
+    evidence_digest: str
+    violations: tuple
+    counterexamples: tuple
+    certificate: dict
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "violations", tuple(self.violations))
+        object.__setattr__(
+            self, "counterexamples", tuple(self.counterexamples)
+        )
+
+
 __all__ = [
     "API_SCHEMA",
     "ApiError",
     "BatchRequest",
     "BatchResponse",
+    "CertifyRequest",
+    "CertifyResponse",
     "ExplainRequest",
     "ExplainResponse",
     "FILTER_MODES",

@@ -9,6 +9,10 @@ Commands mirror the paper's workflows:
 * ``map``     — map a benchmark (or an equation/BLIF file) onto a
   library with the sync or async mapper, optionally with hazard
   don't-cares, and verify the result;
+* ``certify`` — independently re-check mapped networks against their
+  source designs (BDD/truth-table equivalence + replayed hazard
+  transitions) and emit ``repro-cert/v1`` certificates; also available
+  as ``map --certify`` and ``batch --certify``;
 * ``explain`` — render the per-cone decision report of a
   ``repro-explain/v1`` log (or map a catalog benchmark on the fly);
 * ``batch``   — map a whole catalog of (design, library) jobs through
@@ -43,12 +47,14 @@ from typing import Optional, Sequence
 from .api import (
     ApiError,
     BatchRequest,
+    CertifyRequest,
     ExplainRequest,
     MapRequest,
     add_option_arguments,
     execute_explain,
     netlist_blif,
     option_values_from_args,
+    read_blif_text,
     run_map,
 )
 from .batch import (
@@ -64,8 +70,10 @@ from .library.standard import ALL_LIBRARIES, load_library
 from .mapping.verify import verify_mapping
 from .obs.explain import render_explain, validate_explain_payload
 from .obs.export import (
+    CERT_SCHEMA,
     load_explain,
     write_bench_snapshot,
+    write_certificate,
     write_explain,
     write_trace,
 )
@@ -240,13 +248,28 @@ def _cmd_map_remote(args: argparse.Namespace, request: MapRequest) -> int:
             f"verification: equivalent={response.verify['equivalent']} "
             f"hazard_safe={response.verify['hazard_safe']}"
         )
+    certify_failed = False
+    if args.certify:
+        try:
+            cert_response = client.certify(
+                CertifyRequest(
+                    mapped_blif=response.blif,
+                    design=request.design,
+                    network=request.network,
+                    library=args.library,
+                )
+            )
+        except ServiceError as exc:
+            print(f"server error: {exc}", file=sys.stderr)
+            return 1
+        certify_failed = not _report_certify_response("certify", cert_response)
     if args.output:
         with open(args.output, "w") as handle:
             handle.write(response.blif)
         print(f"mapped network written to {args.output}")
     if response.verify is not None and not response.verify["ok"]:
         return 1
-    return 0
+    return 1 if certify_failed else 0
 
 
 def _cmd_map(args: argparse.Namespace) -> int:
@@ -355,12 +378,137 @@ def _cmd_map(args: argparse.Namespace) -> int:
             print(f"  ! {violation}")
         if not report.ok:
             return 1
+    if args.certify:
+        from .conformance.certifier import certify_mapping
+
+        certificate = certify_mapping(
+            network, result.mapped, result.library, metrics=metrics
+        )
+        if not _report_certificate("certify", certificate):
+            return 1
     if args.output:
         from .io import write_blif
 
         with open(args.output, "w") as handle:
             write_blif(result.mapped, handle)
         print(f"mapped network written to {args.output}")
+    return 0
+
+
+def _report_certificate(label: str, certificate) -> bool:
+    """Print one certificate verdict line (plus refutations); True if ok."""
+    print(
+        f"  {label}: {certificate.verdict.upper()} — "
+        f"{certificate.outputs_checked} output(s), "
+        f"{certificate.transitions_checked} transition(s), "
+        f"{certificate.replays} replay(s), "
+        f"digest {certificate.evidence_digest[:12]} "
+        f"({certificate.elapsed:.2f}s)"
+    )
+    for violation in certificate.violations[:5]:
+        print(f"    ! {violation}")
+    shown = 0
+    for counterexample in certificate.counterexamples:
+        if counterexample.source_hazard:
+            continue  # allowed-hazard evidence, not a refutation
+        print(f"    counterexample: {counterexample.describe()}")
+        shown += 1
+        if shown >= 3:
+            break
+    return certificate.certified
+
+
+def _report_certify_response(label: str, response) -> bool:
+    """The ``_report_certificate`` twin for a wire ``CertifyResponse``."""
+    from .conformance.certifier import Counterexample
+
+    print(
+        f"  {label}: {response.verdict.upper()} — "
+        f"{response.outputs_checked} output(s), "
+        f"{response.transitions_checked} transition(s), "
+        f"{response.replays} replay(s), "
+        f"digest {response.evidence_digest[:12]}"
+    )
+    for violation in response.violations[:5]:
+        print(f"    ! {violation}")
+    shown = 0
+    for payload in response.counterexamples:
+        counterexample = Counterexample.from_dict(payload)
+        if counterexample.source_hazard:
+            continue
+        print(f"    counterexample: {counterexample.describe()}")
+        shown += 1
+        if shown >= 3:
+            break
+    return response.certified
+
+
+def _cmd_certify(args: argparse.Namespace) -> int:
+    from .conformance.certifier import certify_mapping
+
+    designs = args.designs or list(TABLE5_ORDER)
+    unknown = sorted(set(designs) - set(CATALOG))
+    if unknown:
+        print(f"unknown benchmark(s): {', '.join(unknown)}", file=sys.stderr)
+        return 2
+    if args.mapped and len(designs) != 1:
+        print("--mapped certifies one design; name exactly one", file=sys.stderr)
+        return 2
+
+    library = load_library(args.library)
+    cache_dir = _resolved_cache_dir(args)
+    metrics = MetricsRegistry()
+    certificates: dict[str, dict] = {}
+    rejected = []
+    print(
+        f"certify: {len(designs)} design(s) against {args.library} "
+        f"(exhaustive<= {args.exhaustive_limit} vars, "
+        f"{args.samples} samples, seed {args.seed})"
+    )
+    for design in designs:
+        source = synthesize_benchmark(design).netlist(design)
+        if args.mapped:
+            with open(args.mapped) as handle:
+                mapped = read_blif_text(handle.read())
+        else:
+            request = MapRequest(
+                library=args.library, design=design, max_depth=args.depth
+            )
+            _, result = run_map(
+                request,
+                library=library,
+                network=source,
+                cache_dir=cache_dir,
+                metrics=metrics,
+            )
+            mapped = result.mapped
+        certificate = certify_mapping(
+            source,
+            mapped,
+            library,
+            exhaustive_limit=args.exhaustive_limit,
+            samples=args.samples,
+            seed=args.seed,
+            metrics=metrics,
+        )
+        certificates[design] = certificate.to_dict()
+        if not _report_certificate(design, certificate):
+            rejected.append(design)
+    if args.json:
+        if len(designs) == 1:
+            write_certificate(args.json, certificates[designs[0]])
+        else:
+            # A multi-design run writes one stamped envelope keyed by
+            # design so the file still round-trips load_certificate.
+            write_certificate(
+                args.json,
+                {"schema": CERT_SCHEMA, "certificates": certificates},
+            )
+        print(f"certificate(s) written to {args.json}")
+    if rejected:
+        print(f"REJECTED: {', '.join(rejected)}", file=sys.stderr)
+        return 1
+    print(f"all {len(designs)} design(s) certified")
     return 0
 
 
@@ -376,6 +524,7 @@ def _cmd_batch_remote(args: argparse.Namespace, request: BatchRequest) -> int:
         ("--bench-snapshot", args.bench_snapshot),
         ("--inject", args.inject),
         ("--trace", args.trace),
+        ("--certify", args.certify),
     )
     for name, value in unsupported:
         if value:
@@ -545,6 +694,39 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         for r in report.results
         if r.get("status") == "ok" and not r.get("verify", {}).get("ok", True)
     ]
+    bad_certify: list[str] = []
+    if args.certify:
+        from .conformance.certifier import certify_mapping
+
+        by_id = {job.job_id: job for job in jobs}
+        sources: dict[str, object] = {}
+        libraries: dict[str, object] = {}
+        print("certifying mapped networks:")
+        for record in report.results:
+            if record.get("status") != "ok":
+                continue
+            job_id = record["job_id"]
+            job = by_id.get(job_id)
+            blif = record.get("blif")
+            if job is None or not blif:
+                # A resumed record's netlist text lives in the artifact
+                # directory, not the in-memory report — nothing to check.
+                print(f"  {job_id}: no netlist text to certify (resumed?)")
+                continue
+            if job.design not in sources:
+                sources[job.design] = synthesize_benchmark(job.design).netlist(
+                    job.design
+                )
+            if job.library not in libraries:
+                libraries[job.library] = load_library(job.library)
+            certificate = certify_mapping(
+                sources[job.design],
+                read_blif_text(blif),
+                libraries[job.library],
+                metrics=metrics,
+            )
+            if not _report_certificate(job_id, certificate):
+                bad_certify.append(job_id)
     for record in failed:
         print(
             f"FAILED {record['job_id']}: {record.get('error')}",
@@ -552,7 +734,9 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         )
     for record in bad_verify:
         print(f"VERIFY FAILED {record['job_id']}", file=sys.stderr)
-    return 1 if failed or bad_verify else 0
+    for job_id in bad_certify:
+        print(f"CERTIFY REJECTED {job_id}", file=sys.stderr)
+    return 1 if failed or bad_verify or bad_certify else 0
 
 
 def _cmd_explain(args: argparse.Namespace) -> int:
@@ -726,6 +910,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="waive hazards outside the specified bursts (section 6)",
     )
     map_cmd.add_argument("--verify", action="store_true")
+    map_cmd.add_argument(
+        "--certify",
+        action="store_true",
+        help="independently certify the mapped network (equivalence + "
+        "hazard freedom, repro-cert/v1); nonzero exit on rejection",
+    )
     map_cmd.add_argument("--output", help="write the mapped network as BLIF")
     map_cmd.add_argument(
         "--deadline",
@@ -835,6 +1025,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="write a repro-explain/v1 log next to each netlist artifact",
     )
     batch.add_argument(
+        "--certify",
+        action="store_true",
+        help="post-pass: independently certify every successful job's "
+        "mapped network; nonzero exit on any rejection",
+    )
+    batch.add_argument(
         "--journal",
         help="repro-batch/v1 checkpoint journal path "
         "(default: <output-dir>/batch_journal.jsonl)",
@@ -886,6 +1082,68 @@ def build_parser() -> argparse.ArgumentParser:
         help="print the run's metrics snapshot",
     )
     batch.set_defaults(func=_cmd_batch)
+
+    certify = sub.add_parser(
+        "certify",
+        help="independently certify mapped networks (repro-cert/v1)",
+    )
+    certify.add_argument(
+        "designs",
+        nargs="*",
+        help="catalog benchmarks (default: the full Table-5 catalog)",
+    )
+    certify.add_argument(
+        "--library",
+        choices=sorted(ALL_LIBRARIES),
+        default="CMOS3",
+        help="target library (default: CMOS3)",
+    )
+    certify.add_argument(
+        "--depth",
+        type=int,
+        default=3,
+        help="cluster-enumeration depth for the mapping pass (default: 3)",
+    )
+    certify.add_argument(
+        "--mapped",
+        metavar="FILE",
+        help="certify an existing mapped BLIF against one named design "
+        "instead of mapping it here",
+    )
+    certify.add_argument(
+        "--exhaustive-limit",
+        type=int,
+        default=6,
+        help="enumerate every transition pair up to this many support "
+        "variables; sample above it (default: 6)",
+    )
+    certify.add_argument(
+        "--samples",
+        type=int,
+        default=150,
+        help="sampled transitions per output above the exhaustive "
+        "limit (default: 150)",
+    )
+    certify.add_argument(
+        "--seed",
+        type=int,
+        default=0,
+        help="seed for the sampled-transition generator (default: 0)",
+    )
+    certify.add_argument(
+        "--json",
+        metavar="FILE",
+        help="write the repro-cert/v1 certificate(s) to FILE",
+    )
+    certify.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="skip the on-disk library-annotation cache",
+    )
+    certify.add_argument(
+        "--cache-dir", help="annotation cache location (default: ~/.cache/repro-tmap)"
+    )
+    certify.set_defaults(func=_cmd_certify)
 
     explain_cmd = sub.add_parser(
         "explain",

@@ -33,6 +33,10 @@ from .tracer import Tracer
 TRACE_SCHEMA = "repro-trace/v1"
 METRICS_SCHEMA = "repro-metrics/v1"
 BENCH_SCHEMA = "repro-bench-mapping/v1"
+#: Conformance certificates (schema owned by
+#: :mod:`repro.conformance.certifier`; the stamp lives here so the
+#: exporters need no import from the conformance layer).
+CERT_SCHEMA = "repro-cert/v1"
 
 
 def _atomic_write_text(path: Path, text: str) -> Path:
@@ -106,6 +110,32 @@ def load_bench_snapshot(path: Union[str, Path]) -> dict:
             f"{path}: schema {snapshot.get('schema')!r} is not {BENCH_SCHEMA!r}"
         )
     return snapshot
+
+
+def write_certificate(path: Union[str, Path], certificate: dict) -> Path:
+    """Write a ``repro-cert/v1`` document (``repro certify --json``).
+
+    Accepts the ``to_dict`` payload of a
+    :class:`~repro.conformance.certifier.Certificate` (or any dict
+    already carrying the stamp) and writes it atomically.
+    """
+    if certificate.get("schema") != CERT_SCHEMA:
+        raise ValueError(f"certificate must carry schema {CERT_SCHEMA!r}")
+    return _atomic_write_text(
+        Path(path), json.dumps(certificate, indent=2, sort_keys=True) + "\n"
+    )
+
+
+def load_certificate(path: Union[str, Path]) -> dict:
+    """Load and schema-check a ``repro-cert/v1`` payload."""
+    with open(path) as handle:
+        certificate = json.load(handle)
+    if certificate.get("schema") != CERT_SCHEMA:
+        raise ValueError(
+            f"{path}: schema {certificate.get('schema')!r} is not "
+            f"{CERT_SCHEMA!r}"
+        )
+    return certificate
 
 
 def explain_to_dict(log: Union[ExplainLog, dict]) -> dict:

@@ -18,6 +18,8 @@ from typing import Optional, Union
 from ..api.schema import (
     BatchRequest,
     BatchResponse,
+    CertifyRequest,
+    CertifyResponse,
     ExplainRequest,
     ExplainResponse,
     MapRequest,
@@ -106,6 +108,14 @@ class ServiceClient:
             request.to_payload() if isinstance(request, VerifyRequest) else request
         )
         return VerifyResponse.from_payload(self._post("/v1/verify", payload))
+
+    def certify(
+        self, request: Union[CertifyRequest, dict]
+    ) -> CertifyResponse:
+        payload = (
+            request.to_payload() if isinstance(request, CertifyRequest) else request
+        )
+        return CertifyResponse.from_payload(self._post("/v1/certify", payload))
 
     # -- operational endpoints --------------------------------------
 

@@ -43,6 +43,7 @@ from typing import Optional, Union
 
 from ..api.facade import (
     execute_batch,
+    execute_certify,
     execute_explain,
     execute_map,
     execute_verify,
@@ -51,6 +52,7 @@ from ..api.facade import (
 from ..api.schema import (
     ApiError,
     BatchRequest,
+    CertifyRequest,
     ExplainRequest,
     MapRequest,
     VerifyRequest,
@@ -72,6 +74,7 @@ ENDPOINT_KINDS = {
     "/v1/batch": BatchRequest,
     "/v1/explain": ExplainRequest,
     "/v1/verify": VerifyRequest,
+    "/v1/certify": CertifyRequest,
 }
 
 
@@ -139,6 +142,10 @@ def _execute_request(
             )
         elif isinstance(request, VerifyRequest):
             response = execute_verify(request)
+        elif isinstance(request, CertifyRequest):
+            response = execute_certify(
+                request, cache_dir=cache_dir, metrics=metrics
+            )
         elif isinstance(request, BatchRequest):
             if request.deadline_seconds is None and deadline_seconds is not None:
                 request = dataclasses.replace(

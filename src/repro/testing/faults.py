@@ -205,6 +205,137 @@ def fire(site: str, deadline: Optional[Deadline] = None) -> None:
             os._exit(17)
 
 
+@dataclass(frozen=True)
+class HazardSeed:
+    """Outcome of :func:`seed_hazard`: the hazardized netlist + target.
+
+    ``start``/``end`` are minterms over ``support`` (bit ``i`` is
+    ``support[i]``) of the static-1 transition the transform provably
+    introduced at ``output``; conformance tests hand them straight to
+    the certifier's witness replay.
+    """
+
+    netlist: object
+    output: str
+    var: str
+    support: tuple[str, ...]
+    start: int
+    end: int
+    kind: str = "static-1"
+
+    def describe(self) -> str:
+        return (
+            f"seeded {self.kind} hazard at output {self.output} on "
+            f"{self.var} toggle (minterms {self.start:#x}->{self.end:#x} "
+            f"over {', '.join(self.support)})"
+        )
+
+
+def seed_hazard(netlist, reference=None, seed: int = 0):
+    """Deterministically introduce a static-1 logic hazard in a copy.
+
+    Rewrites one output cone as its Shannon expansion
+    ``v*f(v=1) + v'*f(v=0)`` in two-level form: every product then
+    carries a ``v`` literal, so a ``v`` toggle at a point where both
+    cofactors hold momentarily uncovers the output — the classical
+    static-1 logic hazard — while the function is untouched.  The
+    target transition is chosen so it is function- and logic-hazard
+    free in ``reference`` (the source network the artifact will be
+    certified against; defaults to ``netlist`` itself), making the
+    seeded hazard a guaranteed Theorem 3.2 violation.
+
+    ``seed`` rotates the candidate search order, so different seeds
+    hazardize different outputs/variables when several qualify.
+    Returns a :class:`HazardSeed`, or ``None`` when no output admits a
+    seedable hazard (e.g. purely AND-like cones with disjoint
+    cofactors).  The input netlist is never mutated.
+    """
+    from ..boolean.cube import bit_indices
+    from ..boolean.expr import And, Lit, Or
+    from ..boolean.paths import label_expression
+    from ..hazards.oracle import classify_transition
+
+    outputs = list(netlist.outputs)
+    if not outputs:
+        return None
+    rotation = seed % len(outputs)
+    for output in outputs[rotation:] + outputs[:rotation]:
+        expr = netlist.collapse(output)
+        ref_expr = (
+            reference.collapse(output) if reference is not None else expr
+        )
+        support = sorted(expr.support() | ref_expr.support())
+        nvars = len(support)
+        if not 2 <= nvars <= 10:
+            continue
+        ref_ls = label_expression(ref_expr, support)
+        own_support = expr.support()
+        cover = expr.to_cover(support)
+        # The seeded v-toggle changes one path literal per Shannon
+        # product; keep that within the event-lattice limit so the
+        # certifier can classify (and replay) the planted transition.
+        if 2 * len(cover.cubes) > 18:
+            continue
+        for iv, var in enumerate(support):
+            if var not in own_support:
+                continue
+            bit = 1 << iv
+            for point in range(1 << nvars):
+                if point & bit:
+                    continue
+                env0 = {
+                    name: bool(point >> i & 1)
+                    for i, name in enumerate(support)
+                }
+                env1 = dict(env0, **{var: True})
+                if not (expr.evaluate(env0) and expr.evaluate(env1)):
+                    continue
+                verdict = classify_transition(ref_ls, point | bit, point)
+                if verdict.function_hazard or verdict.logic_hazard:
+                    continue
+                hazardized = _shannon_rewrite(
+                    netlist, output, expr, support, iv, bit_indices,
+                    And, Lit, Or,
+                )
+                return HazardSeed(
+                    netlist=hazardized,
+                    output=output,
+                    var=var,
+                    support=tuple(support),
+                    start=point | bit,
+                    end=point,
+                )
+    return None
+
+
+def _shannon_rewrite(
+    netlist, output, expr, support, iv, bit_indices, And, Lit, Or
+):
+    """Replace ``output``'s cone by the two-level Shannon expansion."""
+    var = support[iv]
+    cover = expr.to_cover(support)
+    products = []
+    for positive in (True, False):
+        for cube in cover:
+            if cube.used >> iv & 1 and bool(cube.phase >> iv & 1) != positive:
+                continue
+            literals = [Lit(var, positive)]
+            for j in bit_indices(cube.used):
+                if j == iv:
+                    continue
+                literals.append(Lit(support[j], bool(cube.phase >> j & 1)))
+            products.append(
+                literals[0] if len(literals) == 1 else And(tuple(literals))
+            )
+    func = products[0] if len(products) == 1 else Or(tuple(products))
+    fanins = sorted(func.support())
+    hazardized = netlist.copy(f"{netlist.name}.hazarded")
+    gate = hazardized.fresh_name(f"{output}__hazarded")
+    hazardized.add_gate(gate, func, fanins)
+    hazardized.nodes[output].fanins = [gate]
+    return hazardized
+
+
 def corrupt(site: str, text: str) -> str:
     """Apply any matching ``corrupt`` fault to a result payload.
 

@@ -1,0 +1,85 @@
+"""Regression lock on the coordinator's SHA-256 result verification.
+
+The batch engine only accepts a worker payload whose BLIF text hashes
+to the digest computed before transit; these tests pin that contract
+directly at the worker level and through the engine's retry machinery.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api.facade import text_digest
+from repro.batch import BatchConfig, run_batch
+from repro.batch.jobs import execute_job
+from repro.library import anncache
+from repro.obs.metrics import MetricsRegistry
+from repro.testing.faults import FaultPlan
+
+from tests.batch.util import SMALL, by_id, make_jobs
+
+
+class TestWorkerPayload:
+    def test_clean_payload_digest_matches(self):
+        job = make_jobs(designs=SMALL[:1])[0]
+        payload = execute_job(job, cache_dir=anncache.DISABLED)
+        assert payload["digest"] == text_digest(payload["blif"])
+        assert len(payload["digest"]) == 64  # full SHA-256 hex
+
+    def test_corrupt_fault_breaks_the_digest(self):
+        """The tamper happens *after* digest computation — exactly what
+        the coordinator's verification exists to catch."""
+        job = make_jobs(designs=SMALL[:1])[0]
+        plan = FaultPlan.parse([f"corrupt@netlist.build#{job.job_id}"])
+        payload = execute_job(
+            job, fault_plan=plan, cache_dir=anncache.DISABLED
+        )
+        assert payload["digest"] != text_digest(payload["blif"])
+
+    def test_digest_is_sha256_of_blif_text(self):
+        import hashlib
+
+        job = make_jobs(designs=SMALL[:1])[0]
+        payload = execute_job(job, cache_dir=anncache.DISABLED)
+        expected = hashlib.sha256(payload["blif"].encode()).hexdigest()
+        assert payload["digest"] == expected
+
+
+class TestCoordinatorVerification:
+    def _run(self, retries: int, times: str = ""):
+        jobs = make_jobs(designs=SMALL[:1])
+        plan = FaultPlan.parse(
+            [f"corrupt@netlist.build#{jobs[0].job_id}{times}"]
+        )
+        metrics = MetricsRegistry()
+        config = BatchConfig(
+            backend="serial",
+            retries=retries,
+            backoff=0.01,
+            cache_dir=anncache.DISABLED,
+            fault_plan=plan,
+            metrics=metrics,
+        )
+        return run_batch(jobs, config), metrics, jobs[0].job_id
+
+    def test_corrupted_result_fails_without_retries(self):
+        report, metrics, job_id = self._run(retries=0)
+        record = by_id(report, job_id)
+        assert record["status"] == "failed"
+        assert "corrupted result digest" in record["error"]
+        assert metrics.counter("batch.corrupt_results").value == 1
+
+    def test_corruption_is_retried_to_a_clean_result(self):
+        report, metrics, job_id = self._run(retries=2)
+        record = by_id(report, job_id)
+        assert record["status"] == "ok"
+        assert record["attempts"] == 2
+        assert text_digest(record["blif"]) == record["digest"]
+        assert metrics.counter("batch.corrupt_results").value == 1
+
+    def test_persistent_corruption_exhausts_retries(self):
+        report, metrics, job_id = self._run(retries=1, times="*9")
+        record = by_id(report, job_id)
+        assert record["status"] == "failed"
+        assert "attempts exhausted" in record["error"]
+        assert metrics.counter("batch.corrupt_results").value == 2

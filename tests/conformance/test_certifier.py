@@ -1,0 +1,178 @@
+"""The independent certifier: accept real mappings, reject broken ones.
+
+Every rejection here is cross-checked by replaying the certificate's
+counterexample on the event simulator *outside* the certifier — the
+evidence must stand on its own, not just the verdict.
+"""
+
+from __future__ import annotations
+
+import inspect
+
+import pytest
+
+from repro.boolean.paths import label_expression
+from repro.conformance import certify_mapping
+from repro.conformance import certifier as certifier_module
+from repro.hazards.witness import HazardWitness, replay_witness
+from repro.library import anncache
+from repro.library.standard import load_library
+from repro.mapping.mapper import MappingOptions, map_network
+from repro.network.netlist import Netlist
+from repro.obs.export import CERT_SCHEMA
+from repro.obs.metrics import MetricsRegistry
+
+DEPTH = 3
+
+
+@pytest.fixture(scope="module")
+def cmos3():
+    library = load_library("CMOS3")
+    if not library.annotated:
+        library.annotate_hazards()
+    return library
+
+
+def _map_catalog(name: str, library):
+    from repro.burstmode.benchmarks import synthesize_benchmark
+
+    source = synthesize_benchmark(name).netlist(name)
+    options = MappingOptions(
+        max_depth=DEPTH, annotation_cache_dir=anncache.DISABLED
+    )
+    return source, map_network(source, library, options).mapped
+
+
+class TestAccept:
+    def test_certifies_real_mapping(self, cmos3):
+        source, mapped = _map_catalog("chu-ad-opt", cmos3)
+        certificate = certify_mapping(source, mapped, cmos3)
+        assert certificate.certified
+        assert certificate.verdict == "certified"
+        assert certificate.equivalent and certificate.hazard_safe
+        assert certificate.interface_ok and certificate.cells_ok
+        assert certificate.outputs_checked == len(source.outputs)
+        assert certificate.transitions_checked > 0
+        assert not certificate.violations
+
+    def test_certificate_payload_is_stamped(self, cmos3):
+        source, mapped = _map_catalog("chu-ad-opt", cmos3)
+        payload = certify_mapping(source, mapped, cmos3).to_dict()
+        assert payload["schema"] == CERT_SCHEMA
+        assert payload["verdict"] == "certified"
+        assert len(payload["evidence_digest"]) == 64
+        assert payload["outputs"], "per-output evidence must be present"
+        for evidence in payload["outputs"]:
+            assert len(evidence["digest"]) == 64
+            assert evidence["method"] in ("exhaustive", "sampled")
+
+    def test_metrics_are_recorded(self, cmos3):
+        source, mapped = _map_catalog("vanbek-opt", cmos3)
+        metrics = MetricsRegistry()
+        certify_mapping(source, mapped, cmos3, metrics=metrics)
+        snapshot = metrics.snapshot()
+        assert snapshot["conformance.certificates"]["value"] == 1
+        assert snapshot["conformance.outputs_checked"]["value"] > 0
+        assert snapshot["conformance.certify_seconds"]["count"] == 1
+        assert "conformance.rejections" not in snapshot or (
+            snapshot["conformance.rejections"]["value"] == 0
+        )
+
+
+class TestReject:
+    def test_new_hazard_rejected_with_replayable_counterexample(self):
+        # b + b'·c computes the same function as b + c but carries the
+        # textbook static-1 hazard on the b-toggle at c=1 (paper §3).
+        source = Netlist.from_equations({"f": "b + c"}, name="spec")
+        mapped = Netlist.from_equations({"f": "b + b' * c"}, name="bad")
+        certificate = certify_mapping(source, mapped)
+        assert not certificate.certified
+        assert certificate.verdict == "rejected"
+        assert certificate.equivalent  # function is right, hazard is new
+        assert not certificate.hazard_safe
+        refutations = [
+            cx for cx in certificate.counterexamples if not cx.source_hazard
+        ]
+        assert refutations, "a rejection must carry a refutation"
+        # Independent replay: the witness must glitch on the event
+        # simulator when driven through the mapped network's own
+        # path-labelled structure.
+        cx = refutations[0]
+        assert cx.replay["glitched"] is True
+        lsop = label_expression(
+            mapped.collapse("f"), list(cx.support)
+        )
+        witness = HazardWitness.from_dict(cx.witness)
+        replay = replay_witness(lsop, witness, output="f")
+        assert replay.glitched
+        assert replay.changes > replay.expected
+
+    def test_inequivalent_mapping_rejected(self):
+        source = Netlist.from_equations({"f": "b + c"}, name="spec")
+        mapped = Netlist.from_equations({"f": "b * c"}, name="wrong")
+        certificate = certify_mapping(source, mapped)
+        assert not certificate.certified
+        assert not certificate.equivalent
+        assert any("functional mismatch" in v for v in certificate.violations)
+
+    def test_interface_mismatch_rejected(self):
+        source = Netlist.from_equations(
+            {"f": "a + b", "g": "a * b"}, name="spec"
+        )
+        mapped = Netlist.from_equations({"f": "a + b"}, name="partial")
+        certificate = certify_mapping(source, mapped)
+        assert not certificate.certified
+        assert not certificate.interface_ok
+
+    def test_bad_cell_binding_rejected(self, cmos3):
+        source, mapped = _map_catalog("chu-ad-opt", cmos3)
+        tampered = mapped.copy("tampered")
+        victim = next(
+            node for node in tampered.gates() if node.cell is not None
+        )
+        # Rebind the gate to a cell whose function cannot match its own.
+        wrong = (
+            cmos3.cell("INV_1X")
+            if victim.cell.name != "INV_1X"
+            else cmos3.cell("AND2")
+        )
+        victim.cell = wrong
+        certificate = certify_mapping(source, tampered, cmos3)
+        assert not certificate.certified
+        assert not certificate.cells_ok
+
+
+class TestDeterminism:
+    def test_evidence_digest_is_reproducible(self, cmos3):
+        source, mapped = _map_catalog("vanbek-opt", cmos3)
+        first = certify_mapping(source, mapped, cmos3, seed=5)
+        second = certify_mapping(source, mapped, cmos3, seed=5)
+        assert first.evidence_digest == second.evidence_digest
+        assert [e.digest for e in first.outputs] == [
+            e.digest for e in second.outputs
+        ]
+
+    def test_seed_changes_sampled_evidence_only_deterministically(
+        self, cmos3
+    ):
+        source, mapped = _map_catalog("chu-ad-opt", cmos3)
+        a = certify_mapping(source, mapped, cmos3, seed=1)
+        b = certify_mapping(source, mapped, cmos3, seed=1)
+        assert a.evidence_digest == b.evidence_digest
+
+
+class TestTrustModel:
+    def test_certifier_has_no_mapper_imports(self):
+        """The checker must share no code with what it checks."""
+        source = inspect.getsource(certifier_module)
+        for forbidden in (
+            "mapping.cover",
+            "mapping.match",
+            "mapping.verify",
+            "mapping.mapper",
+            "hazards.cache",
+            "from ..mapping",
+        ):
+            assert forbidden not in source, (
+                f"certifier must not reference {forbidden!r}"
+            )

@@ -1,0 +1,47 @@
+"""Replay the committed fuzz corpus (``pytest -m corpus``).
+
+Every entry under ``tests/data/corpus/`` is a shrunk, seed-pinned
+reproducer: clean cases must keep certifying, hazard-seeded cases must
+keep being rejected.  A failure here means the certifier's verdict for
+a previously-settled artifact changed — a regression, not flake.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.conformance.fuzz import (
+    corpus_entries,
+    load_corpus_entry,
+    replay_corpus_entry,
+)
+
+CORPUS_DIR = Path(__file__).resolve().parent.parent / "data" / "corpus"
+ENTRIES = corpus_entries(CORPUS_DIR)
+
+
+def test_corpus_is_not_empty():
+    assert len(ENTRIES) >= 3, f"committed corpus missing at {CORPUS_DIR}"
+
+
+@pytest.mark.corpus
+@pytest.mark.parametrize(
+    "entry", ENTRIES, ids=[path.stem for path in ENTRIES]
+)
+def test_corpus_entry_replays_to_expected_verdict(entry):
+    case = load_corpus_entry(entry)
+    outcome = replay_corpus_entry(entry)
+    assert outcome.ok, (
+        f"{case.name}: expected {outcome.expected_verdict}, got "
+        f"{outcome.certificate.verdict} "
+        f"(violations: {outcome.certificate.violations[:3]})"
+    )
+    if case.expect == "rejected":
+        refutations = [
+            cx
+            for cx in outcome.certificate.counterexamples
+            if not cx.source_hazard
+        ]
+        assert refutations and refutations[0].replay["glitched"]

@@ -1,0 +1,78 @@
+"""Seeded fuzz harness: generation, shrinking, and corpus round-trips."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.conformance.fuzz import (
+    FuzzCase,
+    fuzz,
+    load_corpus_entry,
+    random_case,
+    run_case,
+    shrink,
+    write_corpus_entry,
+)
+
+
+def _rejected_when_seeded(case: FuzzCase) -> bool:
+    """The shrink predicate the hazard tests converge under."""
+    try:
+        outcome = run_case(case)
+    except Exception:
+        return False
+    return outcome.seeded is not None and not outcome.certificate.certified
+
+
+class TestGeneration:
+    def test_random_case_is_seed_deterministic(self):
+        assert random_case(42) == random_case(42)
+        assert random_case(42) != random_case(43)
+
+    def test_clean_fuzz_run_has_no_failures(self):
+        report = fuzz(6, seed=11)
+        assert report.ok
+        assert report.certified == 6
+        assert report.rejected == 0
+
+    def test_hazardize_fuzz_rejects_every_seeded_case(self):
+        report = fuzz(8, seed=7, hazardize=True)
+        assert report.ok, [case.name for case, _ in report.failures]
+        assert report.seeded >= 1, "at least one case must be seedable"
+        assert report.rejected == report.seeded
+        assert report.certified == 8 - report.seeded
+
+
+class TestShrinker:
+    @pytest.fixture(scope="class")
+    def failing_case(self):
+        for seed in range(20):
+            case = random_case(seed, hazardize=True)
+            if _rejected_when_seeded(case):
+                return case
+        pytest.fail("no seedable hazard case in the first 20 seeds")
+
+    def test_shrinker_converges_to_smaller_failing_case(self, failing_case):
+        minimal = shrink(failing_case, _rejected_when_seeded)
+        assert _rejected_when_seeded(minimal)
+        assert minimal.size() <= failing_case.size()
+        # Minimality: no single hoist/drop step still fails.
+        assert minimal.size() < 40
+
+    def test_shrinker_is_deterministic(self, failing_case):
+        first = shrink(failing_case, _rejected_when_seeded)
+        second = shrink(failing_case, _rejected_when_seeded)
+        assert first == second
+
+
+class TestCorpusIO:
+    def test_corpus_entry_roundtrip(self, tmp_path):
+        case = random_case(3, hazardize=True)
+        path = write_corpus_entry(tmp_path / "case.json", case)
+        assert load_corpus_entry(path) == case
+
+    def test_corpus_entry_schema_is_enforced(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"schema": "repro-other/v1", "name": "x"}')
+        with pytest.raises(ValueError, match="schema"):
+            load_corpus_entry(path)
