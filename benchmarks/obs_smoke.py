@@ -1,0 +1,242 @@
+#!/usr/bin/env python
+"""CI smoke for end-to-end correlated observability.
+
+Two phases, both against real subprocesses:
+
+1. **Stitched batch** — ``python -m repro batch --backend processes
+   --trace --log``: asserts the run produced ONE ``repro-trace/v1``
+   tree (single trace_id, every span closed and contained by its
+   parent, unique span ids, each ``batch_job`` span carrying the
+   process-pool worker's grafted ``async_tmap`` subtree) and that every
+   ``repro-log/v1`` line validates and carries the run's trace_id.
+2. **Traced daemon** — boots ``python -m repro serve --backend
+   processes --log``, sends one traced map (``X-Repro-Trace``), grafts
+   the response into the client's tracer and validates the
+   client→daemon→worker tree shares one trace_id; scrapes
+   ``/metrics?format=prometheus`` and parses the exposition; after
+   SIGTERM, validates the daemon's access log and finds the traced
+   request's line.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/obs_smoke.py [--workdir DIR]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import signal
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.api import MapRequest  # noqa: E402
+from repro.obs.export import parse_prometheus_text  # noqa: E402
+from repro.obs.log import read_log  # noqa: E402
+from repro.obs.tracer import Tracer  # noqa: E402
+from repro.service.client import ServiceClient  # noqa: E402
+
+DESIGNS = ("chu-ad-opt", "vanbek-opt")
+LIBRARY = "CMOS3"
+
+
+def _fail(message: str) -> None:
+    print(f"obs smoke FAILED: {message}", file=sys.stderr)
+    raise SystemExit(1)
+
+
+def _expect(label: str, condition: bool) -> None:
+    if not condition:
+        _fail(label)
+
+
+def _walk_spans(span: dict):
+    yield span
+    for child in span.get("children", ()):
+        yield from _walk_spans(child)
+
+
+def _validate_tree(payload: dict) -> dict:
+    """Manual well-formedness walk of an exported repro-trace/v1 file."""
+    _expect("trace schema", payload.get("schema") == "repro-trace/v1")
+    _expect("trace carries a trace_id", bool(payload.get("trace_id")))
+    seen_ids: set = set()
+    for root in payload["spans"]:
+        for span in _walk_spans(root):
+            _expect(f"span {span['name']} closed", span["end"] is not None)
+            _expect(
+                f"span {span['name']} id unique",
+                span["span_id"] not in seen_ids,
+            )
+            seen_ids.add(span["span_id"])
+            for child in span.get("children", ()):
+                _expect(
+                    f"{child['name']} within {span['name']}",
+                    child["start"] >= span["start"] - 1e-6
+                    and child["end"] <= span["end"] + 1e-6,
+                )
+    return payload
+
+
+def phase_stitched_batch(workdir: Path) -> None:
+    trace_path = workdir / "batch_trace.json"
+    log_path = workdir / "batch_log.jsonl"
+    result = subprocess.run(
+        [
+            sys.executable, "-m", "repro", "batch", *DESIGNS,
+            "--libraries", LIBRARY,
+            "--backend", "processes", "--workers", "2",
+            "--depth", "3", "--no-cache",
+            "--trace", str(trace_path),
+            "--log", str(log_path),
+        ],
+        capture_output=True, text=True, cwd=REPO_ROOT,
+        env={**__import__("os").environ,
+             "PYTHONPATH": str(REPO_ROOT / "src")},
+        timeout=600,
+    )
+    if result.returncode != 0:
+        _fail(f"batch exited {result.returncode}:\n{result.stderr}")
+
+    payload = _validate_tree(json.loads(trace_path.read_text()))
+    trace_id = payload["trace_id"]
+    roots = payload["spans"]
+    _expect("one root span", len(roots) == 1)
+    _expect("root is the batch span", roots[0]["name"] == "batch")
+    batch_jobs = [c for c in roots[0]["children"] if c["name"] == "batch_job"]
+    _expect("one batch_job per job", len(batch_jobs) == len(DESIGNS))
+    for job_span in batch_jobs:
+        names = {c["name"] for c in job_span["children"]}
+        _expect(
+            f"worker subtree grafted under {job_span['attrs'].get('job')}",
+            "async_tmap" in names,
+        )
+
+    lines = read_log(log_path)  # validates every line or raises
+    _expect("log is non-empty", bool(lines))
+    events = {line["event"] for line in lines}
+    for expected in ("map.done", "job.ok", "batch.done"):
+        _expect(f"log contains {expected}", expected in events)
+    for line in lines:
+        _expect(
+            f"log line {line['event']} carries the run trace_id",
+            line["trace_id"] == trace_id,
+        )
+    for line in lines:
+        if line["event"] == "job.ok":
+            _expect("job.ok carries a job_id", line["job_id"] is not None)
+            _expect("job.ok carries a span_id", line["span_id"] is not None)
+    print(
+        f"  stitched batch: {len(list(_walk_spans(roots[0])))} spans under "
+        f"one trace ({trace_id}), {len(lines)} valid log lines"
+    )
+
+
+def phase_traced_daemon(workdir: Path) -> None:
+    daemon_log = workdir / "daemon_log.jsonl"
+    process = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro", "serve",
+            "--port", "0", "--no-cache",
+            "--backend", "processes", "--workers", "2",
+            "--preload", LIBRARY,
+            "--log", str(daemon_log),
+        ],
+        stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True,
+        cwd=REPO_ROOT,
+        env={**__import__("os").environ,
+             "PYTHONPATH": str(REPO_ROOT / "src")},
+    )
+    try:
+        banner = process.stdout.readline().strip()
+        if not banner.startswith("serving on http://"):
+            _fail(f"bad startup banner: {banner!r}")
+        client = ServiceClient(banner.split()[-1])
+        client.wait_ready(timeout=20)
+
+        # One traced request: client -> daemon -> pool worker.
+        tracer = Tracer()
+        root = tracer.start_span("map.client", design=DESIGNS[0])
+        client.trace_context = tracer.context(root)
+        response = client.map(
+            MapRequest(design=DESIGNS[0], library=LIBRARY, max_depth=3)
+        )
+        tracer.finish_span(root)
+        client.trace_context = None
+        _expect("traced response carries a trace", response.trace is not None)
+        _expect(
+            "constant trace_id across the wire",
+            response.trace["trace_id"] == tracer.trace_id,
+        )
+        tracer.graft(response.trace, parent=root)
+        problems = tracer.validate()
+        _expect(f"stitched request tree validates: {problems}", not problems)
+        names = {span.name for span in tracer.all_spans()}
+        for expected in ("map.client", "service.request", "async_tmap"):
+            _expect(f"stitched tree contains {expected}", expected in names)
+
+        text = client.metrics_prometheus()
+        parsed = parse_prometheus_text(text)
+        _expect(
+            "exposition counts the request",
+            parsed["samples"].get("service_requests_total", 0) >= 1,
+        )
+        _expect(
+            "per-endpoint latency histogram exposed",
+            'service_request_latency_map_bucket{le="+Inf"}'
+            in parsed["samples"],
+        )
+
+        process.send_signal(signal.SIGTERM)
+        code = process.wait(timeout=30)
+        _expect(f"daemon exit status {code}", code == 0)
+    finally:
+        if process.poll() is None:
+            process.kill()
+            process.wait(timeout=10)
+
+    lines = read_log(daemon_log)  # validates every line or raises
+    access = [line for line in lines if line["event"] == "request"]
+    _expect("daemon wrote access-log events", bool(access))
+    traced = [line for line in access if line["trace_id"] == tracer.trace_id]
+    _expect("access log records the traced request", len(traced) >= 1)
+    _expect(
+        "traced access line carries the request span id",
+        traced[0]["span_id"] is not None,
+    )
+    _expect(
+        "traced access line carries status/latency/queue depth",
+        traced[0]["fields"]["status"] == 200
+        and traced[0]["fields"]["seconds"] > 0
+        and "queue_depth" in traced[0]["fields"],
+    )
+    print(
+        f"  traced daemon: one stitched request tree "
+        f"({tracer.trace_id}), {len(parsed['samples'])} prometheus "
+        f"samples, {len(lines)} valid daemon log lines"
+    )
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--workdir", default=None)
+    args = parser.parse_args(argv)
+    workdir = Path(args.workdir) if args.workdir else Path(
+        tempfile.mkdtemp(prefix="obs_smoke_")
+    )
+    workdir.mkdir(parents=True, exist_ok=True)
+
+    phase_stitched_batch(workdir)
+    phase_traced_daemon(workdir)
+    print("obs smoke passed: stitched batch trace + traced daemon + "
+          "prometheus exposition + validated logs")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -92,6 +92,13 @@ def clear_library_cache() -> None:
         _LIBRARY_CACHE.clear()
 
 
+def loaded_libraries() -> list[str]:
+    """Names of the process-wide warm libraries (``/healthz`` reports
+    these so load balancers can tell a preloaded daemon from a cold one)."""
+    with _LIBRARY_LOCK:
+        return sorted({name for name, _ in _LIBRARY_CACHE})
+
+
 def request_netlist(
     request: Union[MapRequest, ExplainRequest, VerifyRequest, CertifyRequest],
 ) -> Netlist:
@@ -214,6 +221,19 @@ def run_map(
         # fired this attempt, so the fallback pass runs clean.
         fallback = "trivial-cover"
         deadline_site = exc.site
+        from ..obs import log as obs_log
+
+        if obs_log.enabled():
+            obs_log.event(
+                "repro.api",
+                "map.fallback",
+                level="warning",
+                trace_id=getattr(tracer, "trace_id", None),
+                design=request.design_name,
+                library=request.library,
+                deadline_seconds=request.deadline_seconds,
+                deadline_site=deadline_site,
+            )
         fallback_options = _mapping_options(
             request,
             cache_dir=cache_dir,
@@ -472,6 +492,7 @@ def execute_batch(
 __all__ = [
     "FALLBACK_DEPTH",
     "clear_library_cache",
+    "loaded_libraries",
     "execute_batch",
     "execute_certify",
     "execute_explain",

@@ -600,6 +600,10 @@ class MapResponse(_Payload):
     deadline_site: Optional[str] = None
     verify: Optional[dict] = None
     explain: Optional[dict] = None
+    #: ``repro-trace/v1`` span tree of the serving side, present only
+    #: when the caller sent an ``X-Repro-Trace`` header (additive
+    #: optional field per the deprecation policy).
+    trace: Optional[dict] = None
 
     def summary(self) -> dict:
         return {
@@ -621,6 +625,8 @@ class BatchResponse(_Payload):
     elapsed: float
     backend: str
     workers: int
+    #: Serving-side ``repro-trace/v1`` tree (traced requests only).
+    trace: Optional[dict] = None
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "results", tuple(self.results))

@@ -46,9 +46,10 @@ from typing import Callable, Optional, Sequence, Union
 
 from ..deadline import DeadlineExceeded
 from ..library import anncache
+from ..obs import log as obs_log
 from ..obs.export import BENCH_SCHEMA
 from ..obs.metrics import MetricsRegistry
-from ..obs.tracer import NULL_TRACER, Tracer
+from ..obs.tracer import NULL_TRACER, SpanContext, Tracer
 from ..testing.faults import FaultInjected, FaultPlan
 from .backends import BrokenExecutor, ExecutorBackend, create_backend
 from .jobs import BatchJob, text_digest
@@ -303,12 +304,21 @@ class _Engine:
             job=state.job.job_id,
             attempt=state.attempt,
         )
+        # With tracing on, hand the worker this run's trace_id and the
+        # batch_job span as remote parent; the worker's span tree comes
+        # back in the result payload and is grafted under that span.
+        trace_context = (
+            SpanContext(self.tracer.trace_id, state.span.span_id)
+            if self.tracer.trace_id is not None
+            else None
+        )
         return self.backend.submit(
             state.job,
             attempt=state.attempt,
             deadline_seconds=self.config.deadline,
             cache_dir=self.config.cache_dir,
             fault_plan=self.config.fault_plan,
+            trace_context=trace_context,
         )
 
     def _finish_span(self, state: _JobState, status: str) -> None:
@@ -317,16 +327,49 @@ class _Engine:
             self.tracer.finish_span(state.span)
             state.span = None
 
+    def _graft_worker_trace(self, span, trace: Optional[dict]) -> None:
+        """Re-parent a worker's shipped span tree under its job span."""
+        if trace is None or span is None or self.tracer.trace_id is None:
+            return
+        grafted = self.tracer.graft(trace, parent=span)
+        self.metrics.counter("batch.spans_grafted").inc(
+            sum(1 for root in grafted for _ in root.walk())
+        )
+
+    def _event(self, state: Optional[_JobState], name: str, **fields) -> None:
+        """Emit one engine event, correlated to the batch trace."""
+        if not obs_log.enabled():
+            return
+        span = None
+        if state is not None and state.span is not None:
+            span = state.span
+        elif self._span is not None:
+            span = self._span
+        obs_log.event(
+            "repro.batch",
+            name,
+            trace_id=self.tracer.trace_id,
+            span_id=getattr(span, "span_id", None) or None,
+            job_id=state.job.job_id if state is not None else None,
+            **fields,
+        )
+
     # -- settlement ------------------------------------------------------
     def _settle_success(self, state: _JobState, payload: dict) -> None:
         record = dict(payload)
         blif = record.pop("blif", "")
         explain = record.pop("explain", None)
+        trace = record.pop("trace", None)
         record["attempts"] = state.attempt
         record["backoff_seconds"] = list(state.backoffs)
         if record.get("fallback"):
             self.metrics.counter("batch.jobs_fallback").inc()
             self.metrics.counter("batch.deadline_hits").inc()
+            self._event(
+                state, "job.fallback",
+                fallback=record["fallback"],
+                deadline_site=record.get("deadline_site"),
+            )
         if self.output_dir is not None:
             self.output_dir.mkdir(parents=True, exist_ok=True)
             artifact = state.job.artifact_name()
@@ -347,7 +390,15 @@ class _Engine:
             record.get("worker_seconds", 0.0)
         )
         self.metrics.histogram("batch.attempts").observe(state.attempt)
+        self._event(
+            state, "job.ok",
+            attempts=state.attempt,
+            worker_seconds=record.get("worker_seconds"),
+            area=record.get("area"),
+        )
+        span = state.span
         self._finish_span(state, "ok")
+        self._graft_worker_trace(span, trace)
         self._journal_result(record)
         self._progress(record)
 
@@ -365,6 +416,10 @@ class _Engine:
         self.records[state.index] = record
         self.metrics.counter("batch.jobs_failed").inc()
         self.metrics.histogram("batch.attempts").observe(state.attempt)
+        self._event(
+            state, "job.failed", level="warning",
+            status=status, error=error, attempts=state.attempt,
+        )
         self._finish_span(state, status)
         self._journal_result(record)
         self._progress(record)
@@ -395,6 +450,11 @@ class _Engine:
         state.backoffs.append(delay)
         state.next_eligible = time.monotonic() + delay
         self.metrics.counter("batch.retries").inc()
+        self._event(
+            state, "job.retry", level="warning",
+            attempt=state.attempt, reason=failure.reason,
+            backoff_seconds=round(delay, 4),
+        )
         self._finish_span(state, f"retry:{failure.reason}")
         return True
 
@@ -434,6 +494,10 @@ class _Engine:
         """
         self.pool_breaks += 1
         self.metrics.counter("batch.pool_breaks").inc()
+        self._event(
+            None, "batch.quarantine", level="warning",
+            jobs=[s.job.job_id for s in survivors],
+        )
         self.backend.restart()
         for state in sorted(survivors, key=lambda s: s.index):
             self._finish_span(state, "pool-break")
@@ -553,6 +617,22 @@ class _Engine:
         elapsed = time.perf_counter() - started
         self.metrics.gauge("batch.elapsed_seconds").set(round(elapsed, 4))
         results = [self.records[index] for index in range(len(self.jobs))]
+        if obs_log.enabled():
+            counts: dict[str, int] = {}
+            for record in results:
+                status = str(record.get("status"))
+                counts[status] = counts.get(status, 0) + 1
+            obs_log.event(
+                "repro.batch",
+                "batch.done",
+                trace_id=self.tracer.trace_id,
+                span_id=getattr(self._span, "span_id", None) or None,
+                jobs=len(self.jobs),
+                counts=counts,
+                elapsed_seconds=round(elapsed, 4),
+                backend=self.backend.name,
+                workers=self.workers,
+            )
         return BatchReport(
             results=results,
             backend=self.backend.name,

@@ -38,6 +38,8 @@ from ..api.facade import (
 from ..api.schema import BATCH_OPTION_NAMES, ApiError, MapRequest, MapResponse
 from ..library import anncache
 from ..library.library import Library
+from ..obs import log as obs_log
+from ..obs.tracer import SpanContext, Tracer
 from ..testing import faults
 from ..testing.faults import FaultPlan
 
@@ -159,6 +161,7 @@ def execute_job(
     cache_dir: anncache.CacheDir = None,
     fault_plan: Optional[FaultPlan] = None,
     metrics=None,
+    trace_context: Optional[SpanContext] = None,
 ) -> dict:
     """Run one job to a plain-dict result (the backend-agnostic worker).
 
@@ -169,19 +172,41 @@ def execute_job(
     not failure.  ``metrics`` (usable on in-process backends only)
     routes the run's telemetry into a shared registry; process-pool
     workers leave it ``None``.
+
+    ``trace_context`` (pickled with the submission, like ``fault_plan``)
+    carries the coordinator's ``trace_id`` across the process fence:
+    the worker builds a same-id :class:`Tracer`, maps under it, and
+    ships its span tree back as ``payload["trace"]`` for the engine to
+    graft under the job's ``batch_job`` span — one batch run, one tree.
+    It deliberately is NOT a :class:`BatchJob` field: the spec digest
+    (and hence resume identity) must not depend on whether a run was
+    observed.
     """
     faults.install_plan(fault_plan, job=job.job_id, attempt=attempt)
+    tracer = (
+        Tracer(trace_id=trace_context.trace_id)
+        if trace_context is not None
+        else None
+    )
     try:
         started = time.perf_counter()
-        library = _annotated_library(job.library, cache_dir)
-        response = execute_map(
-            job.to_request(deadline_seconds),
-            library=library,
-            cache_dir=cache_dir,
-            metrics=metrics,
-        )
+        with obs_log.log_context(
+            job_id=job.job_id,
+            trace_id=tracer.trace_id if tracer is not None else None,
+            attempt=attempt,
+        ):
+            library = _annotated_library(job.library, cache_dir)
+            response = execute_map(
+                job.to_request(deadline_seconds),
+                library=library,
+                cache_dir=cache_dir,
+                metrics=metrics,
+                tracer=tracer,
+            )
         payload = _result_payload(job, response)
         payload["worker_seconds"] = round(time.perf_counter() - started, 4)
+        if tracer is not None:
+            payload["trace"] = tracer.to_dict()
         return payload
     finally:
         faults.clear_plan()

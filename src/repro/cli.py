@@ -41,6 +41,7 @@ explain`` renders.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import Optional, Sequence
 
@@ -207,20 +208,47 @@ def _map_request(args: argparse.Namespace, network) -> MapRequest:
     )
 
 
+def _remote_trace_begin(client, tracer, name: str, **attrs):
+    """Open the client-side root span and arm header propagation."""
+    root = tracer.start_span(name, **attrs)
+    client.trace_context = tracer.context(root)
+    return root
+
+
+def _remote_trace_end(args, client, tracer, root, response) -> None:
+    """Close the root, graft the daemon's subtree, write the file."""
+    tracer.finish_span(root)
+    client.trace_context = None
+    remote = getattr(response, "trace", None)
+    if remote:
+        tracer.graft(remote, parent=root)
+    tracer.assert_well_formed()
+    write_trace(args.trace, tracer)
+    print(f"trace written to {args.trace}")
+
+
 def _cmd_map_remote(args: argparse.Namespace, request: MapRequest) -> int:
     """Send one map request to a running ``repro serve`` instance."""
     from .service.client import ServiceClient, ServiceError
 
-    for flag, name in ((args.trace, "--trace"), (args.metrics, "--metrics")):
-        if flag:
-            print(f"{name} is not supported with --server", file=sys.stderr)
-            return 2
+    if args.metrics:
+        print("--metrics is not supported with --server", file=sys.stderr)
+        return 2
     client = ServiceClient(args.server)
+    tracer = Tracer() if args.trace else None
+    root_span = None
+    if tracer is not None:
+        root_span = _remote_trace_begin(
+            client, tracer, "map.client",
+            design=request.design_name, library=request.library,
+        )
     try:
         response = client.map(request)
     except ServiceError as exc:
         print(f"server error: {exc}", file=sys.stderr)
         return 1
+    if tracer is not None:
+        _remote_trace_end(args, client, tracer, root_span, response)
     print(
         f"{response.mode} mapping of {response.design} onto "
         f"{response.library}: area={response.area:.0f} "
@@ -523,7 +551,6 @@ def _cmd_batch_remote(args: argparse.Namespace, request: BatchRequest) -> int:
         ("--resume", args.resume),
         ("--bench-snapshot", args.bench_snapshot),
         ("--inject", args.inject),
-        ("--trace", args.trace),
         ("--certify", args.certify),
     )
     for name, value in unsupported:
@@ -531,11 +558,20 @@ def _cmd_batch_remote(args: argparse.Namespace, request: BatchRequest) -> int:
             print(f"{name} is not supported with --server", file=sys.stderr)
             return 2
     client = ServiceClient(args.server)
+    tracer = Tracer() if args.trace else None
+    root_span = None
+    if tracer is not None:
+        root_span = _remote_trace_begin(
+            client, tracer, "batch.client",
+            jobs=len(request.designs) * len(request.libraries),
+        )
     try:
         response = client.batch(request)
     except ServiceError as exc:
         print(f"server error: {exc}", file=sys.stderr)
         return 1
+    if tracer is not None:
+        _remote_trace_end(args, client, tracer, root_span, response)
     for record in response.results:
         if record.get("status") == "ok":
             print(
@@ -865,6 +901,48 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return serve(config)
 
 
+def _cmd_obs(args: argparse.Namespace) -> int:
+    from .obs.inspect import (
+        critical_path,
+        diff_traces,
+        load_trace,
+        render_critical,
+        render_diff,
+        render_top,
+        render_tree,
+        top_spans,
+    )
+
+    try:
+        if args.view == "diff":
+            diff = diff_traces(load_trace(args.trace), load_trace(args.other))
+            lines = render_diff(diff, limit=args.limit)
+        else:
+            payload = load_trace(args.trace)
+            if args.view == "tree":
+                lines = render_tree(payload, max_depth=args.depth)
+            elif args.view == "top":
+                lines = render_top(
+                    top_spans(
+                        payload, limit=args.limit, by_worker=args.by_worker
+                    )
+                )
+            else:  # critical
+                lines = render_critical(critical_path(payload))
+    except (OSError, ValueError) as exc:
+        print(f"cannot inspect trace: {exc}", file=sys.stderr)
+        return 1
+    try:
+        for line in lines:
+            print(line)
+    except BrokenPipeError:
+        # Downstream pager/head closed early; suppress the traceback the
+        # interpreter would otherwise print while flushing stdout at exit.
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+    return 0
+
+
 def _cmd_cache(args: argparse.Namespace) -> int:
     root = args.cache_dir or str(anncache.default_cache_root())
     entries = anncache.cache_entries(root)
@@ -941,7 +1019,13 @@ def build_parser() -> argparse.ArgumentParser:
     map_cmd.add_argument(
         "--trace",
         metavar="FILE",
-        help="record the run as a repro-trace/v1 span tree at FILE",
+        help="record the run as a repro-trace/v1 span tree at FILE "
+        "(with --server: the stitched client+daemon+worker tree)",
+    )
+    map_cmd.add_argument(
+        "--log",
+        metavar="FILE",
+        help="append repro-log/v1 structured events to FILE",
     )
     map_cmd.add_argument(
         "--metrics",
@@ -1074,7 +1158,13 @@ def build_parser() -> argparse.ArgumentParser:
     batch.add_argument(
         "--trace",
         metavar="FILE",
-        help="record the run as a repro-trace/v1 span tree at FILE",
+        help="record the run as a repro-trace/v1 span tree at FILE "
+        "(with --server: the stitched client+daemon+worker tree)",
+    )
+    batch.add_argument(
+        "--log",
+        metavar="FILE",
+        help="append repro-log/v1 structured events to FILE",
     )
     batch.add_argument(
         "--metrics",
@@ -1276,11 +1366,51 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the service's repro-trace/v1 span forest at shutdown",
     )
     serve_cmd.add_argument(
+        "--log",
+        metavar="FILE",
+        help="append repro-log/v1 structured events (including the "
+        "per-request access log) to FILE",
+    )
+    serve_cmd.add_argument(
         "--metrics-file",
         metavar="FILE",
         help="write the repro-metrics/v1 snapshot at shutdown",
     )
     serve_cmd.set_defaults(func=_cmd_serve)
+
+    obs = sub.add_parser(
+        "obs",
+        help="inspect repro-trace/v1 files: tree, hot spans, critical "
+        "path, run-to-run diff",
+    )
+    obs_sub = obs.add_subparsers(dest="view", required=True)
+    obs_tree = obs_sub.add_parser("tree", help="render the span tree")
+    obs_tree.add_argument("trace", help="a repro-trace/v1 JSON file")
+    obs_tree.add_argument(
+        "--depth", type=int, default=None, help="clip the tree at this depth"
+    )
+    obs_top = obs_sub.add_parser(
+        "top", help="hottest span groups by self-time"
+    )
+    obs_top.add_argument("trace", help="a repro-trace/v1 JSON file")
+    obs_top.add_argument("--limit", type=int, default=10)
+    obs_top.add_argument(
+        "--by-worker",
+        action="store_true",
+        help="split groups by the worker-thread attribute",
+    )
+    obs_critical = obs_sub.add_parser(
+        "critical", help="greedy longest-duration root-to-leaf chain"
+    )
+    obs_critical.add_argument("trace", help="a repro-trace/v1 JSON file")
+    obs_diff = obs_sub.add_parser(
+        "diff", help="span-by-span duration diff of two traces"
+    )
+    obs_diff.add_argument("trace", help="the before trace")
+    obs_diff.add_argument("other", help="the after trace")
+    obs_diff.add_argument("--limit", type=int, default=20)
+    for obs_parser in (obs_tree, obs_top, obs_critical, obs_diff):
+        obs_parser.set_defaults(func=_cmd_obs)
 
     cache_cmd = sub.add_parser(
         "cache", help="inspect or clear the annotation cache"
@@ -1294,7 +1424,20 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    log_path = getattr(args, "log", None)
+    if not log_path:
+        return args.func(args)
+    # --log: every structured event the command (and, on in-process
+    # backends, its workers) emits goes to one JSON-lines file.  The
+    # handler is installed before any pool is created so forked
+    # process-pool workers inherit it.
+    from .obs.log import close_event_log, configure_event_log
+
+    handler = configure_event_log(log_path)
+    try:
+        return args.func(args)
+    finally:
+        close_event_log(handler)
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__

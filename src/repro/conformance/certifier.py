@@ -461,6 +461,22 @@ def certify_mapping(
         certificate.verdict = "rejected"
     certificate.evidence_digest = overall.hexdigest()
     certificate.elapsed = time.perf_counter() - started
+    from ..obs import log as obs_log
+
+    if obs_log.enabled():
+        obs_log.event(
+            "repro.conformance",
+            "certify.verdict",
+            level="info" if certificate.certified else "warning",
+            trace_id=getattr(tracer, "trace_id", None),
+            design=certificate.design,
+            library=certificate.library,
+            verdict=certificate.verdict,
+            violations=len(certificate.violations),
+            outputs_checked=certificate.outputs_checked,
+            transitions_checked=certificate.transitions_checked,
+            elapsed_seconds=round(certificate.elapsed, 4),
+        )
     if metrics is not None:
         metrics.counter("conformance.certificates").inc()
         if not certificate.certified:

@@ -25,6 +25,7 @@ from __future__ import annotations
 import os
 import time
 import warnings
+import threading
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field, fields
 from typing import Optional, Union
@@ -35,6 +36,7 @@ from ..library.library import AnnotationReport, Library
 from ..network.decompose import async_tech_decomp, tech_decomp
 from ..network.netlist import Netlist
 from ..network.partition import Cone, partition
+from ..obs import log as obs_log
 from ..obs.explain import ConeExplain, ExplainLog
 from ..obs.metrics import MetricsRegistry
 from ..obs.tracer import NULL_TRACER, Tracer
@@ -197,7 +199,9 @@ def tmap(
     tracer = options.tracer or NULL_TRACER
     metrics = options.metrics if options.metrics is not None else MetricsRegistry()
     start = time.perf_counter()
-    with tracer.span("tmap", design=network.name, library=library.name):
+    with tracer.span(
+        "tmap", design=network.name, library=library.name
+    ) as root_span:
         decomposed = tech_decomp(network, tracer=tracer)
         result = _map_decomposed(
             network,
@@ -210,6 +214,7 @@ def tmap(
         )
     result.elapsed = time.perf_counter() - start
     _finalize_metrics(result)
+    _log_map_done(result, network, library, tracer, root_span)
     return result
 
 
@@ -231,7 +236,9 @@ def async_tmap(
     start = time.perf_counter()
     annotate_elapsed = 0.0
     annotation_report = None
-    with tracer.span("async_tmap", design=network.name, library=library.name):
+    with tracer.span(
+        "async_tmap", design=network.name, library=library.name
+    ) as root_span:
         faults.fire("annotate.library", options.deadline)
         if options.deadline is not None:
             options.deadline.check("annotate.library")
@@ -257,7 +264,28 @@ def async_tmap(
     result.annotate_elapsed = annotate_elapsed
     result.annotation_report = annotation_report
     _finalize_metrics(result)
+    _log_map_done(result, network, library, tracer, root_span)
     return result
+
+
+def _log_map_done(result, network, library, tracer, root_span) -> None:
+    """Emit the run-level ``map.done`` event (no-op without ``--log``)."""
+    if not obs_log.enabled():
+        return
+    obs_log.event(
+        "repro.mapping",
+        "map.done",
+        trace_id=tracer.trace_id,
+        span_id=root_span.span_id or None,
+        design=network.name,
+        library=library.name,
+        mode=result.mode,
+        area=result.area,
+        delay=round(result.delay, 4),
+        cones=result.stats.cones,
+        elapsed_seconds=round(result.elapsed, 4),
+        workers=result.workers,
+    )
 
 
 def map_network(
@@ -338,8 +366,16 @@ def _map_decomposed(
             # stops before starting another covering DP.
             options.deadline.check("cover.cone")
         cone_start = time.perf_counter()
+        # Worker identity on the span: with workers > 1 this runs on a
+        # pool thread, and ``repro obs top --by-worker`` attributes
+        # covering time per worker from these attributes.
         with tracer.span(
-            "cone", parent=cover_span, key=cone.root, size=cone.size
+            "cone",
+            parent=cover_span,
+            key=cone.root,
+            size=cone.size,
+            worker=threading.current_thread().name,
+            thread=threading.get_ident(),
         ):
             cover = cover_cone(
                 decomposed,

@@ -23,6 +23,7 @@ from __future__ import annotations
 
 import json
 import os
+import re
 from pathlib import Path
 from typing import Optional, Union
 
@@ -32,6 +33,9 @@ from .tracer import Tracer
 
 TRACE_SCHEMA = "repro-trace/v1"
 METRICS_SCHEMA = "repro-metrics/v1"
+#: The JSONL event log (schema and validator owned by
+#: :mod:`repro.obs.log`; the stamp is re-exported here with its peers).
+LOG_SCHEMA = "repro-log/v1"
 BENCH_SCHEMA = "repro-bench-mapping/v1"
 #: Conformance certificates (schema owned by
 #: :mod:`repro.conformance.certifier`; the stamp lives here so the
@@ -88,6 +92,108 @@ def write_metrics(path: Union[str, Path], metrics: MetricsRegistry) -> Path:
     return _atomic_write_text(
         Path(path), json.dumps(metrics_to_dict(metrics), indent=2) + "\n"
     )
+
+
+_PROM_NAME_RE = re.compile(r"[^a-zA-Z0-9_:]")
+_PROM_LINE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?\s+(?P<value>\S+)$"
+)
+
+
+def _prom_name(name: str) -> str:
+    """A dotted repro metric name as a Prometheus metric name."""
+    sanitized = _PROM_NAME_RE.sub("_", name)
+    if sanitized and sanitized[0].isdigit():
+        sanitized = "_" + sanitized
+    return sanitized
+
+
+def _prom_value(value: Union[int, float, bool]) -> str:
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    if isinstance(value, float) and value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value) if isinstance(value, float) else str(value)
+
+
+def _prom_escape(value: str) -> str:
+    return (
+        value.replace("\\", r"\\").replace('"', r"\"").replace("\n", r"\n")
+    )
+
+
+def prometheus_text(metrics: MetricsRegistry) -> str:
+    """Render a registry in the Prometheus text exposition format.
+
+    Counters become ``name_total``; histograms the standard cumulative
+    ``name_bucket{le=...}`` / ``name_sum`` / ``name_count`` series;
+    numeric and boolean gauges plain gauges; string gauges (backend
+    names, sources) the conventional ``name_info{value="..."} 1``
+    shape.  Dotted repro names are sanitized to underscores.
+    """
+    lines: list[str] = []
+    for name, snap in metrics.snapshot().items():
+        prom = _prom_name(name)
+        kind = snap["type"]
+        if kind == "counter":
+            lines.append(f"# TYPE {prom}_total counter")
+            lines.append(f"{prom}_total {_prom_value(snap['value'])}")
+        elif kind == "gauge":
+            value = snap["value"]
+            if value is None:
+                continue
+            if isinstance(value, str):
+                lines.append(f"# TYPE {prom}_info gauge")
+                lines.append(
+                    f'{prom}_info{{value="{_prom_escape(value)}"}} 1'
+                )
+            else:
+                lines.append(f"# TYPE {prom} gauge")
+                lines.append(f"{prom} {_prom_value(value)}")
+        else:  # histogram
+            lines.append(f"# TYPE {prom} histogram")
+            cumulative = 0
+            for bound, count in snap.get("buckets", []):
+                if bound is None:
+                    continue
+                cumulative += count
+                lines.append(
+                    f'{prom}_bucket{{le="{_prom_value(float(bound))}"}} '
+                    f"{cumulative}"
+                )
+            lines.append(f'{prom}_bucket{{le="+Inf"}} {snap["count"]}')
+            lines.append(f"{prom}_sum {_prom_value(float(snap['sum']))}")
+            lines.append(f"{prom}_count {snap['count']}")
+    return "\n".join(lines) + "\n"
+
+
+def parse_prometheus_text(text: str) -> dict:
+    """Parse exposition text back into ``{"types": ..., "samples": ...}``.
+
+    ``types`` maps metric name → declared type; ``samples`` maps
+    ``name`` or ``name{labels}`` → float value.  Used by the obs-smoke
+    harness and the service tests to prove ``/metrics?format=prometheus``
+    emits well-formed exposition, not just non-empty text.
+    """
+    types: dict[str, str] = {}
+    samples: dict[str, float] = {}
+    for number, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line:
+            continue
+        if line.startswith("#"):
+            parts = line.split()
+            if len(parts) >= 4 and parts[1] == "TYPE":
+                types[parts[2]] = parts[3]
+            continue
+        match = _PROM_LINE_RE.match(line)
+        if match is None:
+            raise ValueError(f"line {number}: not exposition format: {raw!r}")
+        labels = match.group("labels")
+        key = match.group("name") + (f"{{{labels}}}" if labels else "")
+        samples[key] = float(match.group("value"))
+    return {"types": types, "samples": samples}
 
 
 def write_bench_snapshot(path: Union[str, Path], snapshot: dict) -> Path:

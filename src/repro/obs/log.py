@@ -1,0 +1,318 @@
+"""``repro-log/v1`` — the structured JSON-lines event log.
+
+One event = one JSON object on one line, carrying the correlation
+handles the trace layer mints:
+
+```json
+{"schema": "repro-log/v1", "ts": 1699.5, "level": "info",
+ "logger": "repro.batch", "event": "job.retry",
+ "trace_id": "9f2c…", "span_id": 7, "job_id": "chu-ad-opt@CMOS3",
+ "fields": {"attempt": 2, "reason": "transient: …"}}
+```
+
+Design points:
+
+* **stdlib-logging-backed.**  :func:`event` routes through
+  ``logging.getLogger(name).log(...)``, so user-installed handlers,
+  levels, and filters all apply; :func:`configure_event_log` attaches a
+  ``FileHandler`` with the JSONL formatter to the ``"repro"`` root
+  logger.  With no event handler configured, :func:`event` is a single
+  list-truthiness check — the log costs nothing until someone asks for
+  it (``--log FILE``).
+* **Context, not plumbing.**  ``trace_id``/``span_id``/``job_id``
+  attach automatically from a thread-local context stack
+  (:func:`log_context`, :func:`use_tracer`) or from explicit keyword
+  overrides, so instrumented sites never thread ids through call
+  chains.
+* **Fork-friendly.**  Process-pool workers (the batch engine's
+  ``fork`` context) inherit the configured handler and its file
+  descriptor; single-line appends are effectively atomic, so worker
+  events interleave safely with coordinator events in one file.  Spawn
+  platforms lose worker events — the coordinator's remain.
+* **Tamper-rejecting.**  :func:`validate_log_line` /: func:`read_log`
+  enforce the schema the same way ``repro-api/v1`` payloads do: wrong
+  stamp, unknown top-level key, or mistyped field fails loudly.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import threading
+import time
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Iterator, Optional, Union
+
+LOG_SCHEMA = "repro-log/v1"
+
+#: The logger namespace event handlers attach to.
+ROOT_LOGGER = "repro"
+
+#: Top-level keys of a ``repro-log/v1`` line, in emission order.
+LINE_KEYS = (
+    "schema",
+    "ts",
+    "level",
+    "logger",
+    "event",
+    "trace_id",
+    "span_id",
+    "job_id",
+    "fields",
+)
+
+_LEVELS = ("debug", "info", "warning", "error", "critical")
+
+#: Context keys that land at a line's top level; everything else bound
+#: via :func:`log_context` merges into ``fields``.
+_CONTEXT_IDS = ("trace_id", "span_id", "job_id")
+
+_local = threading.local()
+#: Handlers installed by :func:`configure_event_log`; also the cheap
+#: "is anyone listening" guard (inherited truthy across ``fork``).
+_handlers: list[logging.Handler] = []
+
+
+# ----------------------------------------------------------------------
+# Context binding
+# ----------------------------------------------------------------------
+
+
+def _stack() -> list:
+    stack = getattr(_local, "stack", None)
+    if stack is None:
+        stack = []
+        _local.stack = stack
+    return stack
+
+
+@contextmanager
+def log_context(**fields: object) -> Iterator[None]:
+    """Bind fields onto every event emitted inside the ``with`` block.
+
+    ``trace_id``/``span_id``/``job_id`` land at the line's top level;
+    any other key merges into the event's ``fields`` dict (innermost
+    binding wins).
+    """
+    stack = _stack()
+    stack.append(dict(fields))
+    try:
+        yield
+    finally:
+        stack.pop()
+
+
+@contextmanager
+def use_tracer(tracer) -> Iterator[None]:
+    """Bind a tracer: events pick up its ``trace_id`` and, at emission
+    time, the id of the thread's current span."""
+    stack = _stack()
+    stack.append({"__tracer__": tracer})
+    try:
+        yield
+    finally:
+        stack.pop()
+
+
+def current_context() -> dict:
+    """The merged (innermost-wins) thread-local context."""
+    merged: dict = {}
+    for frame in _stack():
+        merged.update(frame)
+    return merged
+
+
+# ----------------------------------------------------------------------
+# Emission
+# ----------------------------------------------------------------------
+
+
+class _EventFormatter(logging.Formatter):
+    """Render the pre-built event dict as one JSON line."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        line = getattr(record, "repro_line", None)
+        if line is None:  # a plain logging call strayed onto our handler
+            line = _build_line(
+                record.name,
+                record.getMessage(),
+                record.levelname.lower(),
+                {},
+            )
+            line["ts"] = record.created
+        return json.dumps(line, sort_keys=False, default=str)
+
+
+def _build_line(logger: str, name: str, level: str, fields: dict) -> dict:
+    context = current_context()
+    tracer = context.pop("__tracer__", None)
+    line: dict = {
+        "schema": LOG_SCHEMA,
+        "ts": time.time(),
+        "level": level,
+        "logger": logger,
+        "event": name,
+    }
+    for key in _CONTEXT_IDS:
+        line[key] = fields.pop(key, context.pop(key, None))
+    if tracer is not None and line["trace_id"] is None:
+        line["trace_id"] = tracer.trace_id
+        if line["span_id"] is None:
+            span = tracer.current()
+            line["span_id"] = span.span_id if span is not None else None
+    merged = dict(context)
+    merged.update(fields)
+    line["fields"] = merged
+    return line
+
+
+def enabled() -> bool:
+    """Whether any event handler is configured (events cost ~nothing
+    otherwise)."""
+    return bool(_handlers)
+
+
+def event(
+    logger: str, name: str, level: str = "info", **fields: object
+) -> Optional[dict]:
+    """Emit one structured event (no-op unless a handler is configured).
+
+    ``trace_id``/``span_id``/``job_id`` keywords override the bound
+    context; everything else lands in the line's ``fields``.  Returns
+    the emitted line (tests use it), or ``None`` when disabled.
+    """
+    if not _handlers:
+        return None
+    if level not in _LEVELS:
+        raise ValueError(f"unknown level {level!r}; one of {_LEVELS}")
+    line = _build_line(logger, name, level, fields)
+    logging.getLogger(logger).log(
+        getattr(logging, level.upper()), name, extra={"repro_line": line}
+    )
+    return line
+
+
+# ----------------------------------------------------------------------
+# Configuration
+# ----------------------------------------------------------------------
+
+
+def configure_event_log(
+    path: Union[str, Path], level: str = "debug"
+) -> logging.Handler:
+    """Attach a JSONL event handler writing to ``path``.
+
+    Returns the handler; pass it to :func:`close_event_log` when done
+    (the CLI does this at command exit so the file is flushed before
+    any consumer reads it).
+    """
+    handler = logging.FileHandler(str(path), mode="a", encoding="utf-8")
+    handler.setFormatter(_EventFormatter())
+    handler.setLevel(getattr(logging, level.upper()))
+    root = logging.getLogger(ROOT_LOGGER)
+    root.addHandler(handler)
+    root.setLevel(logging.DEBUG)
+    # Structured lines are for the file, not the user's terminal.
+    root.propagate = False
+    _handlers.append(handler)
+    return handler
+
+
+def close_event_log(handler: logging.Handler) -> None:
+    """Flush, detach, and close a handler from :func:`configure_event_log`."""
+    root = logging.getLogger(ROOT_LOGGER)
+    handler.flush()
+    root.removeHandler(handler)
+    handler.close()
+    if handler in _handlers:
+        _handlers.remove(handler)
+
+
+@contextmanager
+def event_log(path: Union[str, Path]) -> Iterator[logging.Handler]:
+    """``configure_event_log`` as a context manager."""
+    handler = configure_event_log(path)
+    try:
+        yield handler
+    finally:
+        close_event_log(handler)
+
+
+# ----------------------------------------------------------------------
+# Validation / reading
+# ----------------------------------------------------------------------
+
+
+def validate_log_line(line: dict) -> dict:
+    """Check one parsed line against ``repro-log/v1``; returns it.
+
+    Raises ``ValueError`` on a wrong schema stamp, a missing or
+    unknown top-level key, or a mistyped field — tampered logs fail at
+    the boundary, like every other repro contract.
+    """
+    if not isinstance(line, dict):
+        raise ValueError(f"log line must be a JSON object, got "
+                         f"{type(line).__name__}")
+    if line.get("schema") != LOG_SCHEMA:
+        raise ValueError(
+            f"log line schema {line.get('schema')!r} is not {LOG_SCHEMA!r}"
+        )
+    missing = [key for key in LINE_KEYS if key not in line]
+    if missing:
+        raise ValueError(f"log line missing key(s): {', '.join(missing)}")
+    unknown = sorted(set(line) - set(LINE_KEYS))
+    if unknown:
+        raise ValueError(f"unknown log line key(s): {', '.join(unknown)}")
+    if not isinstance(line["ts"], (int, float)):
+        raise ValueError("log line ts must be a number")
+    if line["level"] not in _LEVELS:
+        raise ValueError(f"log line level {line['level']!r} not in {_LEVELS}")
+    for key in ("logger", "event"):
+        if not isinstance(line[key], str) or not line[key]:
+            raise ValueError(f"log line {key} must be a non-empty string")
+    if line["trace_id"] is not None and not isinstance(line["trace_id"], str):
+        raise ValueError("log line trace_id must be a string or null")
+    if line["span_id"] is not None and not isinstance(line["span_id"], int):
+        raise ValueError("log line span_id must be an integer or null")
+    if line["job_id"] is not None and not isinstance(line["job_id"], str):
+        raise ValueError("log line job_id must be a string or null")
+    if not isinstance(line["fields"], dict):
+        raise ValueError("log line fields must be an object")
+    return line
+
+
+def read_log(path: Union[str, Path]) -> list[dict]:
+    """Parse and validate every line of a ``repro-log/v1`` file."""
+    lines: list[dict] = []
+    with open(path, encoding="utf-8") as handle:
+        for number, raw in enumerate(handle, start=1):
+            raw = raw.strip()
+            if not raw:
+                continue
+            try:
+                parsed = json.loads(raw)
+            except ValueError as exc:
+                raise ValueError(f"{path}:{number}: not JSON: {exc}") from exc
+            try:
+                lines.append(validate_log_line(parsed))
+            except ValueError as exc:
+                raise ValueError(f"{path}:{number}: {exc}") from exc
+    return lines
+
+
+__all__ = [
+    "LOG_SCHEMA",
+    "LINE_KEYS",
+    "ROOT_LOGGER",
+    "close_event_log",
+    "configure_event_log",
+    "current_context",
+    "enabled",
+    "event",
+    "event_log",
+    "log_context",
+    "read_log",
+    "use_tracer",
+    "validate_log_line",
+]

@@ -28,8 +28,18 @@ result once per run, keeping disabled/enabled overhead far under the
 
 from __future__ import annotations
 
+import bisect
 import threading
 from typing import Optional, Union
+
+#: Default histogram bucket upper bounds (seconds-flavoured: the
+#: pipeline's histograms overwhelmingly observe durations).  Cumulative
+#: Prometheus ``le`` buckets derive from these; the implicit ``+Inf``
+#: bucket is the total count.
+DEFAULT_BUCKETS: tuple[float, ...] = (
+    0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
+    0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0, 60.0,
+)
 
 
 class Counter:
@@ -84,19 +94,26 @@ class Histogram:
     """Streaming summary of an observed distribution.
 
     Keeps count / sum / min / max (enough for rates and means without
-    unbounded storage); the mapper feeds it per-cone covering times and
-    per-analysis durations.
+    unbounded storage) plus fixed-bound bucket counts so the Prometheus
+    exposition (:func:`repro.obs.export.prometheus_text`) can emit the
+    standard cumulative ``_bucket{le=...}`` series; the mapper feeds it
+    per-cone covering times and per-analysis durations.
     """
 
-    __slots__ = ("_lock", "count", "total", "minimum", "maximum")
+    __slots__ = ("_lock", "count", "total", "minimum", "maximum",
+                 "bounds", "bucket_counts")
     kind = "histogram"
 
-    def __init__(self) -> None:
+    def __init__(self, bounds: tuple[float, ...] = DEFAULT_BUCKETS) -> None:
         self._lock = threading.Lock()
         self.count = 0
         self.total = 0.0
         self.minimum: Optional[float] = None
         self.maximum: Optional[float] = None
+        self.bounds = tuple(bounds)
+        # One slot per bound plus the overflow (+Inf) slot; stored
+        # non-cumulative, summed cumulatively at exposition time.
+        self.bucket_counts = [0] * (len(self.bounds) + 1)
 
     def observe(self, value: Union[int, float]) -> None:
         with self._lock:
@@ -106,6 +123,7 @@ class Histogram:
                 self.minimum = value
             if self.maximum is None or value > self.maximum:
                 self.maximum = value
+            self.bucket_counts[bisect.bisect_left(self.bounds, value)] += 1
 
     @property
     def mean(self) -> Optional[float]:
@@ -121,6 +139,14 @@ class Histogram:
                 "min": self.minimum,
                 "max": self.maximum,
                 "mean": self.total / self.count if self.count else None,
+                # Non-cumulative per-bound counts; the last entry pairs
+                # with the implicit +Inf bound.
+                "buckets": [
+                    [bound, count]
+                    for bound, count in zip(
+                        (*self.bounds, None), self.bucket_counts
+                    )
+                ],
             }
 
 
@@ -194,6 +220,12 @@ class MetricsRegistry:
                 with mine._lock:
                     mine.count += instrument["count"]
                     mine.total += instrument["sum"]
+                    theirs_buckets = instrument.get("buckets")
+                    if theirs_buckets is not None and len(
+                        theirs_buckets
+                    ) == len(mine.bucket_counts):
+                        for index, (_, count) in enumerate(theirs_buckets):
+                            mine.bucket_counts[index] += count
                     for bound, better in (
                         ("min", lambda a, b: b < a),
                         ("max", lambda a, b: b > a),

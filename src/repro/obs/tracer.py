@@ -35,6 +35,7 @@ from __future__ import annotations
 
 import threading
 import time
+import uuid
 from contextlib import contextmanager
 from typing import Iterator, Optional
 
@@ -42,6 +43,66 @@ from typing import Iterator, Optional
 #: stamped with ``time.perf_counter`` from different threads; a small
 #: slack absorbs clock-read ordering at span boundaries.
 _TIME_EPSILON = 1e-6
+
+#: HTTP header carrying a :class:`SpanContext` from client to daemon.
+TRACE_HEADER = "X-Repro-Trace"
+
+
+def _new_trace_id() -> str:
+    return uuid.uuid4().hex[:16]
+
+
+class SpanContext:
+    """The wire form of "this work belongs under that span".
+
+    A context is what crosses a process or HTTP boundary: the run's
+    ``trace_id`` plus the span id of the remote parent.  It serializes
+    to ``{trace_id}:{span_id}`` for the :data:`TRACE_HEADER` header and
+    pickles untouched for process-pool submissions.
+    """
+
+    __slots__ = ("trace_id", "span_id")
+
+    def __init__(self, trace_id: str, span_id: int = 0) -> None:
+        self.trace_id = trace_id
+        self.span_id = span_id
+
+    def header_value(self) -> str:
+        return f"{self.trace_id}:{self.span_id}"
+
+    @classmethod
+    def parse(cls, value: Optional[str]) -> Optional["SpanContext"]:
+        """Parse a header value; ``None``/blank means "not traced".
+
+        Malformed values raise ``ValueError`` — a mangled trace header
+        is a caller bug worth rejecting loudly, not guessing around.
+        """
+        if not value:
+            return None
+        trace_id, sep, span = value.partition(":")
+        if not sep or not trace_id or not span.isdigit():
+            raise ValueError(
+                f"malformed {TRACE_HEADER} value {value!r}; "
+                "expected '<trace_id>:<span_id>'"
+            )
+        return cls(trace_id, int(span))
+
+    # Pickling a __slots__ class needs explicit state plumbing.
+    def __getstate__(self) -> tuple:
+        return (self.trace_id, self.span_id)
+
+    def __setstate__(self, state: tuple) -> None:
+        self.trace_id, self.span_id = state
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, SpanContext)
+            and other.trace_id == self.trace_id
+            and other.span_id == self.span_id
+        )
+
+    def __repr__(self) -> str:
+        return f"SpanContext({self.trace_id!r}, {self.span_id})"
 
 
 class Span:
@@ -119,11 +180,22 @@ class Tracer:
     a whole session (``repro perf`` does this).
     """
 
-    def __init__(self) -> None:
+    def __init__(self, trace_id: Optional[str] = None) -> None:
         self._lock = threading.Lock()
         self._roots: list[Span] = []
         self._local = threading.local()
         self._next_id = 1
+        #: Run-scoped correlation id.  Every process participating in
+        #: one logical run (CLI client, daemon, pool workers) builds its
+        #: tracer with the same id, so the stitched tree — and every
+        #: ``repro-log/v1`` line — shares one handle.
+        self.trace_id = trace_id or _new_trace_id()
+        # Clock anchor: spans are stamped with ``perf_counter``, which
+        # is not comparable across processes.  The (epoch, perf) pair
+        # taken here lets ``graft`` rebase a worker's timestamps into
+        # this tracer's frame via wall-clock time.
+        self._anchor_epoch = time.time()
+        self._anchor_perf = time.perf_counter()
 
     # -- active-span tracking (per thread) ------------------------------
     def _stack(self) -> list[Span]:
@@ -238,8 +310,83 @@ class Tracer:
     def to_dict(self) -> dict:
         return {
             "schema": "repro-trace/v1",
+            "trace_id": self.trace_id,
+            "clock": {"epoch": self._anchor_epoch, "perf": self._anchor_perf},
             "spans": [root.to_dict() for root in self.roots()],
         }
+
+    # -- distributed propagation -----------------------------------------
+    def context(self, span: Optional[Span] = None) -> SpanContext:
+        """The :class:`SpanContext` to forward to a remote worker.
+
+        ``span`` (default: this thread's current span) becomes the
+        remote parent; span id 0 means "root of the remote side".
+        """
+        if span is None:
+            span = self.current()
+        return SpanContext(
+            self.trace_id, span.span_id if span is not None else 0
+        )
+
+    def graft(self, payload: dict, parent: Span) -> list[Span]:
+        """Re-parent an exported span forest under a local ``parent``.
+
+        ``payload`` is another tracer's ``to_dict()`` — typically a
+        pool worker's or the daemon's, shipped back inside a result.
+        Its timestamps are rebased from the remote ``perf_counter``
+        frame into this tracer's via the clock anchors, then clamped
+        into ``parent``'s (closed) interval so anchor-capture jitter
+        can never break ``validate()``'s containment checks.  Grafted
+        spans get fresh ids from this tracer's counter; a worker span
+        that never closed is closed at zero duration rather than
+        poisoning the coordinator's tree.
+        """
+        if payload.get("schema") != "repro-trace/v1":
+            raise ValueError(
+                f"cannot graft schema {payload.get('schema')!r}; "
+                "expected 'repro-trace/v1'"
+            )
+        remote_id = payload.get("trace_id")
+        if remote_id is not None and remote_id != self.trace_id:
+            raise ValueError(
+                f"trace_id mismatch: grafting {remote_id!r} into "
+                f"{self.trace_id!r}"
+            )
+        if not parent.closed:
+            raise ValueError(
+                f"graft parent {parent.name!r} must be closed first"
+            )
+        assert parent.end is not None
+        clock = payload.get("clock")
+
+        def convert(stamp: Optional[float]) -> Optional[float]:
+            if stamp is None:
+                return None
+            if clock:
+                epoch = clock["epoch"] + (stamp - clock["perf"])
+                local = self._anchor_perf + (epoch - self._anchor_epoch)
+            else:
+                local = stamp
+            return min(max(local, parent.start), parent.end)
+
+        def build(node: dict, under: Span) -> Span:
+            span = Span(
+                name=str(node["name"]),
+                attrs=dict(node.get("attrs") or {}),
+                span_id=self._next_id,
+                parent_id=under.span_id,
+                start=convert(node["start"]),
+            )
+            self._next_id += 1
+            end = convert(node.get("end"))
+            span.end = span.start if end is None else max(end, span.start)
+            under.children.append(span)
+            for child in node.get("children") or ():
+                build(child, span)
+            return span
+
+        with self._lock:
+            return [build(root, parent) for root in payload.get("spans") or ()]
 
     def __repr__(self) -> str:
         return f"Tracer(roots={len(self.roots())})"
@@ -275,6 +422,8 @@ class _NullSpan:
     children: list = []
     closed = True
     duration = 0.0
+    span_id = 0
+    parent_id = None
 
     def set_attr(self, **attrs: object) -> None:
         pass
@@ -304,11 +453,20 @@ class NullTracer:
     """
 
     __slots__ = ()
+    #: Disabled tracing has no correlation id; instrumented sites test
+    #: ``tracer.trace_id is not None`` to decide whether to propagate.
+    trace_id = None
 
     def span(
         self, name: str, parent: Optional[Span] = None, **attrs: object
     ) -> _NullContext:
         return _NULL_CONTEXT
+
+    def context(self, span: Optional[Span] = None) -> None:
+        return None
+
+    def graft(self, payload: dict, parent: object) -> list:
+        return []
 
     def start_span(
         self, name: str, parent: Optional[Span] = None, **attrs: object

@@ -27,6 +27,7 @@ from ..api.schema import (
     VerifyRequest,
     VerifyResponse,
 )
+from ..obs.tracer import TRACE_HEADER, SpanContext
 
 
 class ServiceError(RuntimeError):
@@ -48,16 +49,30 @@ class ServiceError(RuntimeError):
 class ServiceClient:
     """A thin, synchronous client for one service instance."""
 
-    def __init__(self, base_url: str, timeout: float = 60.0) -> None:
+    def __init__(
+        self,
+        base_url: str,
+        timeout: float = 60.0,
+        trace_context: Optional[SpanContext] = None,
+    ) -> None:
         self.base_url = base_url.rstrip("/")
         self.timeout = timeout
+        #: When set, every request carries it in ``X-Repro-Trace`` so
+        #: the daemon's spans (and its workers') join the caller's
+        #: trace; responses then include the stitched subtree under a
+        #: ``trace`` key for the caller to graft.
+        self.trace_context = trace_context
 
     # -- transport --------------------------------------------------
 
-    def _request(self, method: str, path: str, payload: Optional[dict]) -> dict:
+    def _request_raw(
+        self, method: str, path: str, payload: Optional[dict]
+    ) -> bytes:
         url = f"{self.base_url}{path}"
         data = None
         headers = {"Accept": "application/json"}
+        if self.trace_context is not None:
+            headers[TRACE_HEADER] = self.trace_context.header_value()
         if payload is not None:
             data = json.dumps(payload).encode("utf-8")
             headers["Content-Type"] = "application/json"
@@ -66,7 +81,7 @@ class ServiceClient:
         )
         try:
             with urllib.request.urlopen(request, timeout=self.timeout) as resp:
-                return json.loads(resp.read().decode("utf-8"))
+                return resp.read()
         except urllib.error.HTTPError as exc:
             body = exc.read().decode("utf-8", errors="replace")
             try:
@@ -81,6 +96,9 @@ class ServiceClient:
             ) from None
         except urllib.error.URLError as exc:
             raise ServiceError(0, f"cannot reach {url}: {exc.reason}") from exc
+
+    def _request(self, method: str, path: str, payload: Optional[dict]) -> dict:
+        return json.loads(self._request_raw(method, path, payload).decode("utf-8"))
 
     def _post(self, path: str, payload: dict) -> dict:
         return self._request("POST", path, payload)
@@ -125,6 +143,11 @@ class ServiceClient:
     def metrics(self) -> dict:
         """The service's ``repro-metrics/v1`` snapshot document."""
         return self._request("GET", "/metrics", None)
+
+    def metrics_prometheus(self) -> str:
+        """The service's metrics in Prometheus text exposition format."""
+        raw = self._request_raw("GET", "/metrics?format=prometheus", None)
+        return raw.decode("utf-8")
 
     def wait_ready(self, timeout: float = 10.0, interval: float = 0.05) -> dict:
         """Poll ``/healthz`` until the service answers (boot handshake)."""

@@ -36,6 +36,7 @@ import json
 import signal
 import threading
 import time
+import urllib.parse
 from contextlib import contextmanager
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from pathlib import Path
@@ -47,6 +48,7 @@ from ..api.facade import (
     execute_explain,
     execute_map,
     execute_verify,
+    loaded_libraries,
     shared_library,
 )
 from ..api.schema import (
@@ -59,9 +61,15 @@ from ..api.schema import (
     parse_request,
 )
 from ..library import anncache
-from ..obs.export import metrics_to_dict, write_metrics, write_trace
+from ..obs import log as obs_log
+from ..obs.export import (
+    metrics_to_dict,
+    prometheus_text,
+    write_metrics,
+    write_trace,
+)
 from ..obs.metrics import MetricsRegistry
-from ..obs.tracer import Tracer
+from ..obs.tracer import TRACE_HEADER, SpanContext, Tracer
 from ..testing import faults
 from ..testing.faults import FaultPlan
 
@@ -113,6 +121,7 @@ def _execute_request(
     cache_dir: anncache.CacheDir = None,
     fault_plan: Optional[FaultPlan] = None,
     metrics: Optional[MetricsRegistry] = None,
+    trace_context: Optional[SpanContext] = None,
 ) -> dict:
     """Run one parsed API request to its response payload.
 
@@ -120,9 +129,19 @@ def _execute_request(
     function the service submits to its executor backend, and on the
     process backend it crosses a pickle boundary (``metrics`` must then
     be ``None`` — a registry cannot be shared across processes).
+
+    ``trace_context`` carries the request's ``trace_id`` across that
+    same fence: the worker maps under a same-id tracer and ships its
+    span tree back as ``payload["trace"]`` for the dispatcher to graft
+    under the ``service.request`` span.
     """
     faults.install_plan(fault_plan, job=getattr(request, "design", None) or "-",
                         attempt=1)
+    tracer = (
+        Tracer(trace_id=trace_context.trace_id)
+        if trace_context is not None
+        else None
+    )
     try:
         if isinstance(request, MapRequest):
             if request.deadline_seconds is None and deadline_seconds is not None:
@@ -130,7 +149,7 @@ def _execute_request(
                     request, deadline_seconds=deadline_seconds
                 )
             response = execute_map(
-                request, cache_dir=cache_dir, metrics=metrics
+                request, cache_dir=cache_dir, metrics=metrics, tracer=tracer
             )
         elif isinstance(request, ExplainRequest):
             if request.deadline_seconds is None and deadline_seconds is not None:
@@ -138,13 +157,13 @@ def _execute_request(
                     request, deadline_seconds=deadline_seconds
                 )
             response = execute_explain(
-                request, cache_dir=cache_dir, metrics=metrics
+                request, cache_dir=cache_dir, metrics=metrics, tracer=tracer
             )
         elif isinstance(request, VerifyRequest):
             response = execute_verify(request)
         elif isinstance(request, CertifyRequest):
             response = execute_certify(
-                request, cache_dir=cache_dir, metrics=metrics
+                request, cache_dir=cache_dir, metrics=metrics, tracer=tracer
             )
         elif isinstance(request, BatchRequest):
             if request.deadline_seconds is None and deadline_seconds is not None:
@@ -152,11 +171,14 @@ def _execute_request(
                     request, deadline_seconds=deadline_seconds
                 )
             response = execute_batch(
-                request, cache_dir=cache_dir, metrics=metrics
+                request, cache_dir=cache_dir, metrics=metrics, tracer=tracer
             )
         else:  # pragma: no cover - ENDPOINT_KINDS guards the dispatch
             raise ApiError(f"unsupported request type {type(request).__name__}")
-        return response.to_payload()
+        payload = response.to_payload()
+        if tracer is not None:
+            payload["trace"] = tracer.to_dict()
+        return payload
     finally:
         faults.clear_plan()
 
@@ -206,17 +228,85 @@ class MappingService:
         with self._state_lock:
             return self._inflight
 
-    def handle(self, method: str, path: str, payload: Optional[dict]):
-        """Dispatch one request; returns ``(status, body, headers)``."""
-        endpoint = path.rstrip("/") or "/"
-        if method == "GET" and endpoint == "/healthz":
-            return 200, self._health(), {}
-        if method == "GET" and endpoint == "/metrics":
-            return 200, metrics_to_dict(self.metrics), {}
-        kind = ENDPOINT_KINDS.get(endpoint)
-        if kind is None or method != "POST":
-            return 404, {"error": f"no such endpoint: {method} {path}"}, {}
-        return self._dispatch(endpoint, kind, payload)
+    def handle(
+        self,
+        method: str,
+        path: str,
+        payload: Optional[dict],
+        trace_header: Optional[str] = None,
+    ):
+        """Dispatch one request; returns ``(status, body, headers)``.
+
+        ``trace_header`` is the raw ``X-Repro-Trace`` value, if the
+        client sent one; a traced request runs under a per-request
+        tracer that adopts the caller's ``trace_id`` and the full span
+        tree is returned in the response body (``body["trace"]``).
+        """
+        parts = urllib.parse.urlsplit(path)
+        endpoint = parts.path.rstrip("/") or "/"
+        query = urllib.parse.parse_qs(parts.query)
+        name = endpoint.rsplit("/", 1)[-1] or "root"
+        started = time.perf_counter()
+        status, span_id, trace_id = 500, None, None
+        context: Optional[SpanContext] = None
+        # One access-log event and one per-endpoint latency sample for
+        # *every* request, including malformed and 404 ones (finally).
+        try:
+            try:
+                context = SpanContext.parse(trace_header)
+            except ValueError as exc:
+                self.metrics.counter("service.errors").inc()
+                status = 400
+                return status, {
+                    "error": f"bad {TRACE_HEADER} header: {exc}"
+                }, {}
+            if method == "GET" and endpoint == "/healthz":
+                status, body, headers = 200, self._health(), {}
+            elif method == "GET" and endpoint == "/metrics":
+                status, body, headers = self._metrics_endpoint(query)
+            else:
+                kind = ENDPOINT_KINDS.get(endpoint)
+                if kind is None or method != "POST":
+                    status = 404
+                    body = {"error": f"no such endpoint: {method} {path}"}
+                    headers = {}
+                else:
+                    span_box: dict = {}
+                    status, body, headers = self._dispatch(
+                        endpoint, kind, payload, context, span_box
+                    )
+                    span_id = span_box.get("span_id")
+                    trace_id = span_box.get("trace_id")
+            return status, body, headers
+        finally:
+            elapsed = time.perf_counter() - started
+            self.metrics.histogram(
+                f"service.request.latency.{name}"
+            ).observe(elapsed)
+            if obs_log.enabled():
+                obs_log.event(
+                    "repro.service",
+                    "request",
+                    trace_id=trace_id or (
+                        context.trace_id if context else self.tracer.trace_id
+                    ),
+                    span_id=span_id,
+                    endpoint=name,
+                    method=method,
+                    status=status,
+                    seconds=round(elapsed, 6),
+                    queue_depth=self.inflight,
+                )
+
+    def _metrics_endpoint(self, query: dict):
+        fmt = (query.get("format") or ["json"])[0]
+        if fmt == "prometheus":
+            return 200, prometheus_text(self.metrics), {
+                "Content-Type": "text/plain; version=0.0.4; charset=utf-8"
+            }
+        if fmt != "json":
+            return 400, {"error": f"unknown metrics format {fmt!r}"}, {}
+        return 200, metrics_to_dict(self.metrics), {}
 
     def _health(self) -> dict:
         with self._state_lock:
@@ -225,13 +315,23 @@ class MappingService:
         return {
             "status": status,
             "inflight": inflight,
+            "queue_depth": inflight,
             "queue_limit": self.config.queue_limit,
+            "queue_available": max(self.config.queue_limit - inflight, 0),
             "backend": self.backend.name,
             "workers": self.config.workers,
             "uptime_seconds": round(time.time() - self.started_at, 3),
+            "libraries": loaded_libraries(),
         }
 
-    def _dispatch(self, endpoint: str, kind, payload: Optional[dict]):
+    def _dispatch(
+        self,
+        endpoint: str,
+        kind,
+        payload: Optional[dict],
+        context: Optional[SpanContext] = None,
+        span_box: Optional[dict] = None,
+    ):
         name = endpoint.rsplit("/", 1)[-1]
         self.metrics.counter("service.requests").inc()
         self.metrics.counter(f"service.requests.{name}").inc()
@@ -261,12 +361,26 @@ class MappingService:
         with self._state_lock:
             self._inflight += 1
         started = time.perf_counter()
+        # A traced request adopts the caller's trace_id on a tracer of
+        # its own (the service tracer aggregates only untraced work, so
+        # concurrent traced requests never interleave in one tree).
+        tracer = (
+            Tracer(trace_id=context.trace_id)
+            if context is not None
+            else self.tracer
+        )
         try:
-            with self.tracer.span(
+            request_span = tracer.start_span(
                 "service.request", endpoint=name,
                 design=getattr(request, "design", None),
                 library=getattr(request, "library", None),
-            ):
+            )
+            if context is not None:
+                request_span.set_attr(remote_parent=context.span_id)
+            if span_box is not None:
+                span_box["span_id"] = request_span.span_id
+                span_box["trace_id"] = tracer.trace_id
+            try:
                 # A process pool cannot share the registry (or the fault
                 # plan's thread-local state) across the pickle fence.
                 in_process = not self.backend.supports_crash_isolation
@@ -277,8 +391,17 @@ class MappingService:
                     self.config.cache_dir,
                     self.config.fault_plan if in_process else None,
                     self.metrics if in_process else None,
+                    tracer.context(request_span) if context is not None
+                    else None,
                 )
                 body = future.result()
+            finally:
+                tracer.finish_span(request_span)
+            if context is not None and isinstance(body, dict):
+                worker_trace = body.pop("trace", None)
+                if worker_trace:
+                    tracer.graft(worker_trace, parent=request_span)
+                body["trace"] = tracer.to_dict()
             if body.get("fallback"):
                 self.metrics.counter("service.fallbacks").inc()
             return 200, body, {}
@@ -366,10 +489,19 @@ def _make_handler(service: MappingService):
         def log_message(self, format, *args):  # noqa: A002 - stdlib name
             pass  # the tracer is the access log
 
-        def _reply(self, status: int, body: dict, headers: dict) -> None:
-            data = json.dumps(body).encode("utf-8")
+        def _reply(self, status: int, body, headers: dict) -> None:
+            # A ``str`` body is preformatted text (Prometheus exposition);
+            # anything else is a JSON document.
+            if isinstance(body, str):
+                data = body.encode("utf-8")
+                content_type = headers.pop(
+                    "Content-Type", "text/plain; charset=utf-8"
+                )
+            else:
+                data = json.dumps(body).encode("utf-8")
+                content_type = "application/json"
             self.send_response(status)
-            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Type", content_type)
             self.send_header("Content-Length", str(len(data)))
             for key, value in headers.items():
                 self.send_header(key, value)
@@ -380,7 +512,10 @@ def _make_handler(service: MappingService):
             self.close_connection = True
 
         def do_GET(self) -> None:  # noqa: N802 - stdlib dispatch name
-            status, body, headers = service.handle("GET", self.path, None)
+            status, body, headers = service.handle(
+                "GET", self.path, None,
+                trace_header=self.headers.get(TRACE_HEADER),
+            )
             self._reply(status, body, headers)
 
         def do_POST(self) -> None:  # noqa: N802 - stdlib dispatch name
@@ -392,7 +527,10 @@ def _make_handler(service: MappingService):
                     payload = None
             except (ValueError, UnicodeDecodeError):
                 payload = None
-            status, body, headers = service.handle("POST", self.path, payload)
+            status, body, headers = service.handle(
+                "POST", self.path, payload,
+                trace_header=self.headers.get(TRACE_HEADER),
+            )
             self._reply(status, body, headers)
 
     return _Handler

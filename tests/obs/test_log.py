@@ -1,0 +1,152 @@
+"""``repro-log/v1`` — emission, context binding, and tamper rejection."""
+
+from __future__ import annotations
+
+import json
+import logging
+
+import pytest
+
+from repro.obs import log as obs_log
+from repro.obs.log import (
+    LINE_KEYS,
+    LOG_SCHEMA,
+    event,
+    event_log,
+    log_context,
+    read_log,
+    use_tracer,
+    validate_log_line,
+)
+from repro.obs.tracer import Tracer
+
+
+def test_event_is_noop_when_no_handler_is_configured():
+    assert not obs_log.enabled()
+    assert event("repro.test", "ignored", answer=42) is None
+
+
+def test_round_trip_through_a_file(tmp_path):
+    path = tmp_path / "events.jsonl"
+    with event_log(path):
+        assert obs_log.enabled()
+        event("repro.test", "alpha", level="info", count=1)
+        event("repro.test", "beta", level="warning", reason="because")
+    assert not obs_log.enabled()
+
+    lines = read_log(path)
+    assert [line["event"] for line in lines] == ["alpha", "beta"]
+    for line in lines:
+        assert line["schema"] == LOG_SCHEMA
+        assert tuple(line) == LINE_KEYS  # emission preserves key order
+    assert lines[0]["fields"] == {"count": 1}
+    assert lines[1]["level"] == "warning"
+    assert lines[1]["fields"] == {"reason": "because"}
+
+
+def test_log_context_binds_ids_and_fields(tmp_path):
+    with event_log(tmp_path / "events.jsonl"):
+        with log_context(job_id="a@b", attempt=1):
+            outer = event("repro.test", "outer")
+            with log_context(attempt=2, extra=True):
+                inner = event("repro.test", "inner")
+    assert outer["job_id"] == "a@b"
+    assert outer["fields"] == {"attempt": 1}
+    # Innermost binding wins; ids stay at the top level, the rest in fields.
+    assert inner["job_id"] == "a@b"
+    assert inner["fields"] == {"attempt": 2, "extra": True}
+
+
+def test_explicit_keywords_override_bound_context(tmp_path):
+    with event_log(tmp_path / "events.jsonl"):
+        with log_context(job_id="bound", trace_id="bound-trace"):
+            line = event(
+                "repro.test", "e", job_id="explicit", trace_id="t1"
+            )
+    assert line["job_id"] == "explicit"
+    assert line["trace_id"] == "t1"
+
+
+def test_use_tracer_supplies_trace_and_current_span_ids(tmp_path):
+    tracer = Tracer()
+    with event_log(tmp_path / "events.jsonl"):
+        with use_tracer(tracer):
+            outside = event("repro.test", "outside")
+            with tracer.span("work") as span:
+                inside = event("repro.test", "inside")
+    assert outside["trace_id"] == tracer.trace_id
+    assert outside["span_id"] is None  # no span open on this thread
+    assert inside["trace_id"] == tracer.trace_id
+    assert inside["span_id"] == span.span_id
+
+
+def test_stray_plain_logging_call_still_renders_valid_lines(tmp_path):
+    path = tmp_path / "events.jsonl"
+    with event_log(path):
+        logging.getLogger("repro.stray").info("free-form message")
+    (line,) = read_log(path)
+    assert line["event"] == "free-form message"
+    assert line["logger"] == "repro.stray"
+
+
+def test_event_rejects_unknown_level(tmp_path):
+    with event_log(tmp_path / "events.jsonl"):
+        with pytest.raises(ValueError, match="unknown level"):
+            event("repro.test", "e", level="loud")
+
+
+def _valid_line() -> dict:
+    return {
+        "schema": LOG_SCHEMA,
+        "ts": 123.0,
+        "level": "info",
+        "logger": "repro.test",
+        "event": "e",
+        "trace_id": None,
+        "span_id": None,
+        "job_id": None,
+        "fields": {},
+    }
+
+
+@pytest.mark.parametrize(
+    "mutate, message",
+    [
+        (lambda l: l.update(schema="repro-log/v2"), "schema"),
+        (lambda l: l.pop("ts"), "missing key"),
+        (lambda l: l.update(surprise=1), "unknown log line key"),
+        (lambda l: l.update(ts="yesterday"), "ts must be a number"),
+        (lambda l: l.update(level="loud"), "level"),
+        (lambda l: l.update(event=""), "non-empty string"),
+        (lambda l: l.update(trace_id=7), "trace_id"),
+        (lambda l: l.update(span_id="seven"), "span_id"),
+        (lambda l: l.update(job_id=["a"]), "job_id"),
+        (lambda l: l.update(fields=[1, 2]), "fields"),
+    ],
+)
+def test_validate_rejects_tampered_lines(mutate, message):
+    line = _valid_line()
+    mutate(line)
+    with pytest.raises(ValueError, match=message):
+        validate_log_line(line)
+
+
+def test_validate_accepts_a_valid_line():
+    assert validate_log_line(_valid_line()) == _valid_line()
+
+
+def test_read_log_reports_the_offending_line(tmp_path):
+    path = tmp_path / "events.jsonl"
+    good = _valid_line()
+    bad = _valid_line()
+    bad["level"] = "loud"
+    path.write_text(json.dumps(good) + "\n" + json.dumps(bad) + "\n")
+    with pytest.raises(ValueError, match=r":2: .*level"):
+        read_log(path)
+
+
+def test_read_log_rejects_non_json_lines(tmp_path):
+    path = tmp_path / "events.jsonl"
+    path.write_text("not json at all\n")
+    with pytest.raises(ValueError, match=":1: not JSON"):
+        read_log(path)

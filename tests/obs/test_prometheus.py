@@ -1,0 +1,93 @@
+"""Prometheus text exposition of a ``MetricsRegistry``."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.export import parse_prometheus_text, prometheus_text
+from repro.obs.metrics import DEFAULT_BUCKETS, Histogram, MetricsRegistry
+
+
+def _registry() -> MetricsRegistry:
+    metrics = MetricsRegistry()
+    metrics.counter("service.requests").inc(3)
+    metrics.gauge("map.area").set(42.0)
+    metrics.gauge("batch.backend").set("processes")
+    metrics.gauge("map.fallback").set(True)
+    hist = metrics.histogram("service.request_seconds")
+    for value in (0.0005, 0.003, 0.003, 7.0, 120.0):
+        hist.observe(value)
+    return metrics
+
+
+def test_histogram_tracks_per_bucket_counts():
+    hist = Histogram()
+    hist.observe(0.0005)   # <= 0.001
+    hist.observe(0.003)    # <= 0.005
+    hist.observe(120.0)    # overflow (+Inf slot)
+    buckets = hist.to_dict()["buckets"]
+    assert len(buckets) == len(DEFAULT_BUCKETS) + 1
+    assert buckets[-1] == [None, 1]  # implicit +Inf bound
+    counts = {bound: count for bound, count in buckets}
+    assert counts[0.001] == 1
+    assert counts[0.005] == 1
+    assert sum(count for _, count in buckets) == hist.count
+
+
+def test_histogram_boundary_value_lands_in_its_le_bucket():
+    hist = Histogram()
+    hist.observe(0.001)  # exactly on a bound: le semantics, not lt
+    counts = {bound: count for bound, count in hist.to_dict()["buckets"]}
+    assert counts[0.001] == 1
+
+
+def test_merge_combines_bucket_counts():
+    a, b = MetricsRegistry(), MetricsRegistry()
+    a.histogram("h").observe(0.0005)
+    b.histogram("h").observe(120.0)
+    a.merge(b)
+    buckets = a.histogram("h").to_dict()["buckets"]
+    assert buckets[0][1] == 1 and buckets[-1][1] == 1
+
+
+def test_exposition_covers_every_instrument_kind():
+    text = prometheus_text(_registry())
+    assert text.endswith("\n")
+    parsed = parse_prometheus_text(text)
+    assert parsed["types"]["service_requests_total"] == "counter"
+    assert parsed["samples"]["service_requests_total"] == 3.0
+    assert parsed["samples"]["map_area"] == 42.0
+    assert parsed["samples"]['batch_backend_info{value="processes"}'] == 1.0
+    assert parsed["samples"]["map_fallback"] == 1.0  # bool gauge -> 0/1
+
+
+def test_histogram_exposition_is_cumulative():
+    parsed = parse_prometheus_text(prometheus_text(_registry()))
+    samples = parsed["samples"]
+    assert parsed["types"]["service_request_seconds"] == "histogram"
+    # 0.0005 <= 0.001; the two 0.003s land by 0.005; 7.0 by 10.0;
+    # 120.0 only in +Inf.  Buckets are cumulative.
+    assert samples['service_request_seconds_bucket{le="0.001"}'] == 1.0
+    assert samples['service_request_seconds_bucket{le="0.005"}'] == 3.0
+    assert samples['service_request_seconds_bucket{le="10"}'] == 4.0
+    assert samples['service_request_seconds_bucket{le="+Inf"}'] == 5.0
+    assert samples["service_request_seconds_count"] == 5.0
+    assert samples["service_request_seconds_sum"] == pytest.approx(127.0065)
+
+
+def test_unset_gauges_are_omitted():
+    metrics = MetricsRegistry()
+    metrics.gauge("never.set")
+    assert prometheus_text(metrics).strip() in ("",)
+
+
+def test_names_are_sanitized():
+    metrics = MetricsRegistry()
+    metrics.counter("service.request.latency.map").inc()
+    parsed = parse_prometheus_text(prometheus_text(metrics))
+    assert "service_request_latency_map_total" in parsed["samples"]
+
+
+def test_parse_rejects_malformed_exposition():
+    with pytest.raises(ValueError, match="not exposition format"):
+        parse_prometheus_text("this is { not valid\n")

@@ -1,0 +1,135 @@
+"""Daemon observability: trace propagation, enriched health, Prometheus.
+
+The distributed-tracing contract under test: a client that sends
+``X-Repro-Trace`` gets back its own ``trace_id`` with the daemon's
+``service.request`` span and the worker's full mapping tree already
+stitched together — grafting the response under the client's root span
+yields ONE well-formed tree spanning three processes.
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.request
+
+import pytest
+
+from repro.api.schema import MapRequest
+from repro.obs import log as obs_log
+from repro.obs.export import parse_prometheus_text
+from repro.obs.tracer import TRACE_HEADER, Tracer
+
+REQUEST = MapRequest(library="CMOS3", design="chu-ad-opt", max_depth=3)
+
+
+def _traced_map(client, request=REQUEST):
+    tracer = Tracer()
+    root = tracer.start_span("map.client", design=request.design)
+    client.trace_context = tracer.context(root)
+    response = client.map(request)
+    tracer.finish_span(root)
+    client.trace_context = None
+    return tracer, root, response
+
+
+@pytest.mark.parametrize("backend", ["threads", "processes"])
+def test_traced_request_round_trips_one_tree(make_service, backend):
+    service, client = make_service(backend=backend)
+    tracer, root, response = _traced_map(client)
+
+    assert response.trace is not None
+    assert response.trace["trace_id"] == tracer.trace_id
+    tracer.graft(response.trace, parent=root)
+    tracer.assert_well_formed()
+
+    spans = {span.name: span for span in tracer.all_spans()}
+    assert "service.request" in spans, "daemon span missing from the stitch"
+    assert "async_tmap" in spans, "worker mapping tree missing"
+    request_span = spans["service.request"]
+    assert request_span.attrs["remote_parent"] == root.span_id
+    # One root: the client's; everything else hangs beneath it.
+    assert tracer.roots() == [root]
+
+
+def test_untraced_request_has_no_trace_key(make_service):
+    service, client = make_service()
+    response = client.map(REQUEST)
+    assert response.trace is None
+    # Untraced requests still land on the service's own tracer.
+    assert any(
+        span.name == "service.request" for span in service.tracer.all_spans()
+    )
+
+
+def test_malformed_trace_header_is_rejected(make_service):
+    service, client = make_service()
+    request = urllib.request.Request(
+        f"{client.base_url}/healthz", headers={TRACE_HEADER: "no-span-id"}
+    )
+    with pytest.raises(urllib.error.HTTPError) as excinfo:
+        urllib.request.urlopen(request)
+    assert excinfo.value.code == 400
+    assert "malformed" in json.loads(excinfo.value.read())["error"]
+
+
+def test_healthz_reports_queue_and_libraries(make_service):
+    service, client = make_service(preload=("CMOS3",))
+    health = client.health()
+    assert health["status"] == "ok"
+    assert health["queue_depth"] == 0
+    assert health["queue_available"] == service.config.queue_limit
+    assert health["uptime_seconds"] >= 0
+    assert health["libraries"] == ["CMOS3"]
+
+
+def test_per_endpoint_latency_histograms(make_service):
+    service, client = make_service()
+    client.map(REQUEST)
+    client.health()
+    client.metrics()
+    snapshot = service.metrics.snapshot()
+    for name in (
+        "service.request.latency.map",
+        "service.request.latency.healthz",
+        "service.request.latency.metrics",
+    ):
+        assert snapshot[name]["type"] == "histogram", name
+        assert snapshot[name]["count"] >= 1, name
+
+
+def test_prometheus_endpoint_parses(make_service):
+    service, client = make_service()
+    client.map(REQUEST)
+    text = client.metrics_prometheus()
+    parsed = parse_prometheus_text(text)
+    assert parsed["samples"]["service_requests_total"] >= 1.0
+    assert parsed["types"]["service_request_seconds"] == "histogram"
+    assert (
+        parsed["samples"]['service_request_seconds_bucket{le="+Inf"}'] >= 1.0
+    )
+
+
+def test_metrics_unknown_format_is_rejected(make_service):
+    from repro.service.client import ServiceError
+
+    service, client = make_service()
+    with pytest.raises(ServiceError) as excinfo:
+        client._request("GET", "/metrics?format=xml", None)
+    assert excinfo.value.status == 400
+
+
+def test_access_log_lines_carry_the_request_trace_id(make_service, tmp_path):
+    service, client = make_service()
+    log_path = tmp_path / "access.jsonl"
+    with obs_log.event_log(log_path):
+        tracer, root, response = _traced_map(client)
+    lines = obs_log.read_log(log_path)
+    requests = [l for l in lines if l["event"] == "request"]
+    assert requests, "daemon must emit a per-request access-log event"
+    line = requests[-1]
+    assert line["trace_id"] == tracer.trace_id
+    assert line["span_id"] is not None
+    assert line["fields"]["endpoint"] == "map"
+    assert line["fields"]["status"] == 200
+    assert line["fields"]["seconds"] > 0
+    assert "queue_depth" in line["fields"]
