@@ -1,0 +1,191 @@
+#!/usr/bin/env python
+"""CI smoke for the result cache: CLI twice, daemon once, one store.
+
+Drives the content-addressed result cache end to end against a single
+on-disk cache directory:
+
+* a cold ``repro map --result-cache`` run populates the cache;
+* a second CLI run (a fresh process, so the memory tier is empty)
+  replays the stored response from disk, byte-identical;
+* a live ``repro serve`` daemon answers the same request from the same
+  cache, reports the ``cached`` tier on the wire, and exposes
+  ``cache_result_hits_total >= 1`` plus the lookup-latency histogram in
+  its Prometheus scrape;
+* a deliberately truncated cache entry is detected, evicted, and
+  recomputed — never served.
+
+Any mismatch exits non-zero; CI uploads ``--workdir`` (cache directory
+included) as an artifact on failure.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/cache_smoke.py \
+        [--workdir cache_smoke_work]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import signal
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.api import MapRequest  # noqa: E402
+from repro.cache import resultcache  # noqa: E402
+from repro.obs.export import parse_prometheus_text  # noqa: E402
+from repro.service.client import ServiceClient  # noqa: E402
+
+
+def _fail(message: str) -> None:
+    print(f"cache smoke FAILED: {message}", file=sys.stderr)
+    raise SystemExit(1)
+
+
+def _cli_map(cache_dir: Path, output: Path, design: str, library: str,
+             depth: int) -> str:
+    """One ``repro map --result-cache`` run in a fresh process."""
+    proc = subprocess.run(
+        [
+            sys.executable, "-m", "repro", "map", design, library,
+            "--depth", str(depth),
+            "--result-cache",
+            "--cache-dir", str(cache_dir),
+            "--output", str(output),
+        ],
+        capture_output=True,
+        text=True,
+        cwd=REPO_ROOT,
+        env={**os.environ, "PYTHONPATH": str(REPO_ROOT / "src")},
+    )
+    if proc.returncode != 0:
+        _fail(
+            f"CLI map exited {proc.returncode}:\n{proc.stdout}{proc.stderr}"
+        )
+    return proc.stdout
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--workdir",
+        default="cache_smoke_work",
+        help="scratch directory (cache + netlists; CI artifact on failure)",
+    )
+    parser.add_argument("--design", default="chu-ad-opt")
+    parser.add_argument("--library", default="CMOS3")
+    parser.add_argument("--depth", type=int, default=5)
+    args = parser.parse_args(argv)
+
+    workdir = Path(args.workdir)
+    workdir.mkdir(parents=True, exist_ok=True)
+    cache_dir = workdir / "cache"
+
+    # 1. Cold CLI run populates the cache.
+    out_cold = workdir / "cli_cold.blif"
+    stdout = _cli_map(cache_dir, out_cold, args.design, args.library,
+                      args.depth)
+    if "result cache" in stdout:
+        _fail(f"cold run claimed a cache hit:\n{stdout}")
+    entries = resultcache.result_entries(str(cache_dir))
+    if len(entries) != 1:
+        _fail(f"cold run stored {len(entries)} entries, expected 1")
+    entry_path = entries[0]
+
+    # 2. Second CLI run (fresh process) must replay from disk.
+    out_warm = workdir / "cli_warm.blif"
+    stdout = _cli_map(cache_dir, out_warm, args.design, args.library,
+                      args.depth)
+    if "(result cache: disk hit)" not in stdout:
+        _fail(f"second CLI run did not hit the disk tier:\n{stdout}")
+    if out_warm.read_bytes() != out_cold.read_bytes():
+        _fail("second CLI run's netlist drifted from the cold run")
+
+    # 3. A live daemon against the same cache directory.
+    daemon = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro", "serve",
+            "--port", "0",
+            "--cache-dir", str(cache_dir),
+        ],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        text=True,
+        cwd=REPO_ROOT,
+        env={**os.environ, "PYTHONPATH": str(REPO_ROOT / "src")},
+    )
+    try:
+        banner = daemon.stdout.readline().strip()
+        if not banner.startswith("serving on http://"):
+            _fail(f"bad daemon banner: {banner!r}")
+        client = ServiceClient(banner.split()[-1])
+        client.wait_ready(timeout=15)
+
+        response = client.map(
+            MapRequest(
+                design=args.design,
+                library=args.library,
+                max_depth=args.depth,
+                result_cache=True,
+            )
+        )
+        if response.cached != "disk":
+            _fail(
+                f"daemon response cached={response.cached!r}, "
+                "expected 'disk'"
+            )
+        if response.blif.encode() != out_cold.read_bytes():
+            _fail("daemon netlist drifted from the CLI runs")
+
+        scrape = client.metrics_prometheus()
+        samples = parse_prometheus_text(scrape)["samples"]
+        hits = samples.get("cache_result_hits_total", 0)
+        if hits < 1:
+            _fail(
+                f"Prometheus scrape reports cache_result_hits_total="
+                f"{hits!r}, expected >= 1"
+            )
+        if "cache_result_lookup_seconds" not in scrape:
+            _fail("lookup-latency histogram missing from the scrape")
+
+        health = client.health()
+        if health.get("result_cache", {}).get("disk_entries") != 1:
+            _fail(f"daemon /healthz result_cache wrong: {health!r}")
+    finally:
+        daemon.send_signal(signal.SIGTERM)
+        try:
+            daemon.wait(timeout=15)
+        except subprocess.TimeoutExpired:
+            daemon.kill()
+            _fail("daemon did not drain on SIGTERM")
+    if daemon.returncode != 0:
+        _fail(f"daemon exited {daemon.returncode}: {daemon.stderr.read()}")
+
+    # 4. A truncated entry must be evicted and recomputed, never served.
+    entry_path.write_text(entry_path.read_text()[:64])
+    out_again = workdir / "cli_recomputed.blif"
+    stdout = _cli_map(cache_dir, out_again, args.design, args.library,
+                      args.depth)
+    if "result cache" in stdout:
+        _fail(f"truncated entry was served as a hit:\n{stdout}")
+    if out_again.read_bytes() != out_cold.read_bytes():
+        _fail("recomputed netlist drifted after corruption")
+    entry = json.loads(entry_path.read_text())  # re-stored, valid again
+    if entry.get("key") != entry_path.stem:
+        _fail("re-stored entry is not self-describing")
+
+    print(
+        "cache smoke passed: cold CLI store, warm CLI disk hit, daemon "
+        f"disk hit (cache_result_hits_total={hits}), corrupt entry "
+        "evicted and recomputed; netlists byte-identical throughout"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

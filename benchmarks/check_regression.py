@@ -61,10 +61,45 @@ def main(argv=None) -> int:
         help="allow the fresh run to cover only a subset of the baseline's "
         "benchmarks (the CI smoke gate runs the two smallest)",
     )
+    parser.add_argument(
+        "--benchmarks",
+        nargs="+",
+        metavar="NAME",
+        help="restrict the comparison to these benchmark names (implies "
+        "--subset); a name absent from either snapshot is a clear, "
+        "non-zero-exit error",
+    )
     args = parser.parse_args(argv)
 
     baseline = load_bench_snapshot(args.baseline)
     fresh = load_bench_snapshot(args.fresh)
+    if args.benchmarks:
+        # Fail loudly (not with a KeyError) when a requested name is in
+        # neither snapshot — a typo'd gate must not pass vacuously.
+        missing_base = sorted(
+            set(args.benchmarks) - set(baseline.get("benchmarks", {}))
+        )
+        missing_fresh = sorted(
+            set(args.benchmarks) - set(fresh.get("benchmarks", {}))
+        )
+        if missing_base or missing_fresh:
+            print("regression check FAILED: requested benchmark(s) missing:")
+            for name in missing_base:
+                print(
+                    f"  ! {name}: absent from baseline {args.baseline} "
+                    f"(regenerate the baseline or fix the name)"
+                )
+            for name in missing_fresh:
+                if name not in missing_base:
+                    print(f"  ! {name}: absent from fresh {args.fresh}")
+            return 1
+        for snapshot in (baseline, fresh):
+            snapshot["benchmarks"] = {
+                name: entry
+                for name, entry in snapshot["benchmarks"].items()
+                if name in args.benchmarks
+            }
+        args.subset = True
     problems = compare_snapshots(
         baseline,
         fresh,

@@ -186,7 +186,7 @@ def run_map(
     cache_dir: anncache.CacheDir = None,
     metrics=None,
     tracer=None,
-) -> tuple[MapResponse, "MappingResult"]:
+) -> tuple[MapResponse, Optional["MappingResult"]]:
     """Execute one map request; returns the response AND the raw result.
 
     The raw :class:`~repro.mapping.mapper.MappingResult` carries the
@@ -194,11 +194,39 @@ def run_map(
     CLI prints from; remote callers only ever see the
     :class:`MapResponse`.  ``library``/``network`` short-circuit
     resolution when the caller already holds the objects.
+
+    With ``request.result_cache`` on, the content-addressed result
+    cache (:mod:`repro.cache.resultcache`) is consulted first; a hit
+    replays the stored response verbatim (tagged ``cached="memory"`` or
+    ``"disk"``) and the raw result is ``None`` — callers that print
+    from the in-memory objects must fall back to the response fields.
     """
     from ..mapping.mapper import map_network
+    from ..obs.tracer import NULL_TRACER
 
     net = network if network is not None else request_netlist(request)
     lib = _resolve_library(request, library, cache_dir)
+    result_cache = cache_key = None
+    trc = tracer if tracer is not None else NULL_TRACER
+    if request.result_cache:
+        from ..cache.resultcache import ResultCache, request_cache_key
+
+        result_cache = ResultCache(cache_dir)
+        cache_key = request_cache_key(request, netlist_blif(net), lib)
+        with trc.span(
+            "result_cache",
+            op="lookup",
+            design=request.design_name,
+            library=lib.name,
+            key=cache_key[:12],
+        ) as span:
+            hit = result_cache.lookup(cache_key, metrics=metrics)
+            if hit is not None:
+                tier, payload = hit
+                span.set_attr(tier=tier)
+                response = MapResponse.from_payload(payload)
+                return replace(response, cached=tier), None
+            span.set_attr(tier="miss")
     deadline = (
         Deadline(request.deadline_seconds)
         if request.deadline_seconds is not None
@@ -246,6 +274,24 @@ def run_map(
     response = _response_from_result(
         request, result, fallback=fallback, deadline_site=deadline_site
     )
+    if result_cache is not None and fallback is None:
+        # Fallback responses are deadline artifacts, not the mapping of
+        # this key — caching one would replay a degraded netlist on a
+        # later run with a comfortable budget.
+        with trc.span(
+            "result_cache",
+            op="store",
+            design=request.design_name,
+            library=lib.name,
+            key=cache_key[:12],
+        ):
+            result_cache.store(
+                cache_key,
+                response.to_payload(),
+                library=lib,
+                design=request.design_name,
+                metrics=metrics,
+            )
     return response, result
 
 
@@ -471,6 +517,8 @@ def execute_batch(
                              tracer=tracer)
     if request.deadline_seconds is not None and config.deadline is None:
         config = replace(config, deadline=request.deadline_seconds)
+    if request.result_cache and not config.result_cache:
+        config = replace(config, result_cache=True)
     report = run_batch(request.to_jobs(), config)
     results = []
     for record in report.results:

@@ -39,6 +39,7 @@ schema (see ``docs/api.md``).
 
 from __future__ import annotations
 
+import argparse
 import dataclasses
 from dataclasses import dataclass, fields
 from typing import Any, Mapping, Optional
@@ -132,6 +133,16 @@ OPTION_FIELDS: tuple[OptionField, ...] = (
         batch=False,
         minimum=0,
     ),
+    OptionField(
+        "result_cache",
+        bool,
+        False,
+        "reuse whole map results from the content-addressed result cache",
+        flag="--result-cache",
+        batch=False,  # a deployment knob: BatchConfig carries it, job
+        # specs don't (it cannot change results, so it must not change
+        # spec digests or resume identity)
+    ),
 )
 
 OPTION_NAMES = tuple(field.name for field in OPTION_FIELDS)
@@ -158,6 +169,16 @@ def add_option_arguments(parser, exclude: tuple = ()) -> None:
             )
             continue
         if field.flag is None:
+            continue
+        if field.kind is bool:
+            # Booleans get the paired --flag/--no-flag form for free.
+            parser.add_argument(
+                field.flag,
+                dest=field.name,
+                action=argparse.BooleanOptionalAction,
+                default=field.default,
+                help=field.help,
+            )
             continue
         parser.add_argument(
             field.flag,
@@ -365,6 +386,7 @@ class MapRequest(_Payload):
     objective: str = "area"
     filter_mode: str = "exact"
     workers: int = 1
+    result_cache: bool = False
     dont_cares: bool = False
     explain: bool = False
     verify: bool = False
@@ -420,6 +442,10 @@ class BatchRequest(_Payload):
     explain: bool = False
     deadline_seconds: Optional[float] = None
     include_blif: bool = False
+    #: Deployment knob, not a result knob: turns the content-addressed
+    #: result cache on for every job (additive optional field per the
+    #: deprecation policy; job spec digests never see it).
+    result_cache: bool = False
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "designs", tuple(self.designs))
@@ -604,6 +630,10 @@ class MapResponse(_Payload):
     #: when the caller sent an ``X-Repro-Trace`` header (additive
     #: optional field per the deprecation policy).
     trace: Optional[dict] = None
+    #: ``"memory"`` or ``"disk"`` when this response was replayed from
+    #: the content-addressed result cache instead of being recomputed
+    #: (additive optional field per the deprecation policy).
+    cached: Optional[str] = None
 
     def summary(self) -> dict:
         return {

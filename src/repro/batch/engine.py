@@ -83,6 +83,10 @@ class BatchConfig:
     tracer: Optional[Tracer] = None
     metrics: Optional[MetricsRegistry] = None
     progress: Optional[Callable[[dict], None]] = None
+    #: Serve byte-identical stored responses from the content-addressed
+    #: result cache (a deployment knob like ``cache_dir`` — job specs
+    #: and resume identity never see it).
+    result_cache: bool = False
 
     def resolved_workers(self) -> int:
         import os
@@ -319,6 +323,14 @@ class _Engine:
             cache_dir=self.config.cache_dir,
             fault_plan=self.config.fault_plan,
             trace_context=trace_context,
+            result_cache=self.config.result_cache,
+            # In-process workers share the run's registry (same policy
+            # as the service daemon), so worker-side telemetry — the
+            # cache.result.* counters above all — lands in one place;
+            # process-pool workers cannot share an in-memory registry.
+            metrics=(
+                self.metrics if self.backend.name != "processes" else None
+            ),
         )
 
     def _finish_span(self, state: _JobState, status: str) -> None:

@@ -151,6 +151,8 @@ def _result_payload(job: BatchJob, response: MapResponse) -> dict:
         payload["explain"] = response.explain
     if response.deadline_site is not None:
         payload["deadline_site"] = response.deadline_site
+    if response.cached is not None:
+        payload["cached"] = response.cached
     return payload
 
 
@@ -162,6 +164,7 @@ def execute_job(
     fault_plan: Optional[FaultPlan] = None,
     metrics=None,
     trace_context: Optional[SpanContext] = None,
+    result_cache: bool = False,
 ) -> dict:
     """Run one job to a plain-dict result (the backend-agnostic worker).
 
@@ -181,6 +184,11 @@ def execute_job(
     It deliberately is NOT a :class:`BatchJob` field: the spec digest
     (and hence resume identity) must not depend on whether a run was
     observed.
+
+    ``result_cache`` (likewise a deployment knob, not a job field)
+    turns the content-addressed result cache on for this execution:
+    the facade serves a byte-identical stored response when the exact
+    (network, library, options) triple was mapped before.
     """
     faults.install_plan(fault_plan, job=job.job_id, attempt=attempt)
     tracer = (
@@ -196,8 +204,13 @@ def execute_job(
             attempt=attempt,
         ):
             library = _annotated_library(job.library, cache_dir)
+            request = job.to_request(deadline_seconds)
+            if result_cache:
+                import dataclasses
+
+                request = dataclasses.replace(request, result_cache=True)
             response = execute_map(
-                job.to_request(deadline_seconds),
+                request,
                 library=library,
                 cache_dir=cache_dir,
                 metrics=metrics,

@@ -1,0 +1,47 @@
+"""Content-addressed whole-result caching for mapping requests.
+
+The annotation cache (:mod:`repro.library.anncache`) memoizes the
+per-library hazard analyses; this package memoizes one level up — the
+complete ``repro-api/v1`` map response for a (network, library,
+options) triple — so a warm daemon or batch re-run skips mapping
+entirely.  See :mod:`repro.cache.resultcache` for the design and
+``docs/caching.md`` for the operator's view.
+"""
+
+from .resultcache import (
+    DEFAULT_MAX_BYTES,
+    DEFAULT_MAX_ENTRIES,
+    DEFAULT_MEMORY_ENTRIES,
+    MEMORY,
+    MemoryTier,
+    RESULT_CACHE_VERSION,
+    RESULT_KEY_FIELDS,
+    RESULT_SCHEMA,
+    ResultCache,
+    clear_result_cache,
+    normalized_options,
+    request_cache_key,
+    resolve_result_cache_dir,
+    result_cache_key,
+    result_entries,
+    result_path,
+)
+
+__all__ = [
+    "DEFAULT_MAX_BYTES",
+    "DEFAULT_MAX_ENTRIES",
+    "DEFAULT_MEMORY_ENTRIES",
+    "MEMORY",
+    "MemoryTier",
+    "RESULT_CACHE_VERSION",
+    "RESULT_KEY_FIELDS",
+    "RESULT_SCHEMA",
+    "ResultCache",
+    "clear_result_cache",
+    "normalized_options",
+    "request_cache_key",
+    "resolve_result_cache_dir",
+    "result_cache_key",
+    "result_entries",
+    "result_path",
+]

@@ -26,11 +26,15 @@ Commands mirror the paper's workflows:
   ``repro-api/v1`` contract): libraries, hazard annotations, and
   matching indexes stay warm across requests; ``map`` and ``batch``
   take ``--server URL`` to route through it;
-* ``cache``   — inspect or clear the on-disk annotation cache.
+* ``cache``   — inspect or clear the on-disk caches: per-library hazard
+  annotations and content-addressed whole-map results.
 
 ``map`` persists library hazard annotations to a disk cache by default
 (pass ``--no-cache`` to disable, ``--cache-dir`` to relocate) and takes
-``--workers`` for parallel cone covering.  ``map --trace out.json``
+``--workers`` for parallel cone covering.  ``--result-cache``
+additionally replays whole map responses from the content-addressed
+result cache when the exact (network, library, options) triple was
+mapped before (see ``docs/caching.md``).  ``map --trace out.json``
 records the run as a span tree (``repro-trace/v1``) and ``--metrics``
 prints the run's counter/gauge/histogram snapshot; both are also
 available on ``perf``.  ``map --explain [FILE]`` writes the
@@ -337,16 +341,65 @@ def _cmd_map(args: argparse.Namespace) -> int:
         metrics=metrics,
         tracer=tracer,
     )
-    print(
-        f"{result.mode} mapping of {network.name} onto {result.library.name}: "
-        f"area={result.area:.0f} delay={result.delay:.2f} "
-        f"cpu={result.elapsed:.2f}s"
-    )
+    if result is None:
+        # Result-cache hit: the stored response is replayed verbatim and
+        # there are no in-memory mapping objects to print from.
+        print(
+            f"{response.mode} mapping of {response.design} onto "
+            f"{response.library}: area={response.area:.0f} "
+            f"delay={response.delay:.2f} cpu={response.map_seconds:.2f}s "
+            f"(result cache: {response.cached} hit)"
+        )
+        print(f"cells: {response.cell_usage}")
+    else:
+        print(
+            f"{result.mode} mapping of {network.name} onto "
+            f"{result.library.name}: "
+            f"area={result.area:.0f} delay={result.delay:.2f} "
+            f"cpu={result.elapsed:.2f}s"
+        )
     if response.fallback:
         print(
             f"deadline fallback: {response.fallback} "
             f"(budget ran out at {response.deadline_site})"
         )
+    if result is None:
+        mapped = read_blif_text(response.blif)
+        if tracer is not None:
+            tracer.assert_well_formed()
+            write_trace(args.trace, tracer, metrics=metrics)
+            print(f"trace written to {args.trace}")
+        if args.explain is not None and response.explain is not None:
+            explain_path = args.explain or f"{network.name}_explain.json"
+            write_explain(explain_path, response.explain)
+            print(f"explain log written to {explain_path}")
+        if args.metrics:
+            print("metrics:")
+            for line in _format_metrics(metrics):
+                print(f"  {line}")
+        if args.verify:
+            report = verify_mapping(network, mapped)
+            print(
+                f"verification: equivalent={report.equivalent} "
+                f"hazard_safe={report.hazard_safe}"
+            )
+            for violation in report.violations[:5]:
+                print(f"  ! {violation}")
+            if not report.ok:
+                return 1
+        if args.certify:
+            from .conformance.certifier import certify_mapping
+
+            certificate = certify_mapping(
+                network, mapped, load_library(args.library), metrics=metrics
+            )
+            if not _report_certificate("certify", certificate):
+                return 1
+        if args.output:
+            with open(args.output, "w") as handle:
+                handle.write(response.blif)
+            print(f"mapped network written to {args.output}")
+        return 0
     print(f"cells: {result.cell_usage()}")
     if result.annotation_report is not None:
         report = result.annotation_report
@@ -696,6 +749,7 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         tracer=tracer,
         metrics=metrics,
         progress=progress,
+        result_cache=args.result_cache,
     )
     print(
         f"batch: {len(jobs)} job(s) "
@@ -944,14 +998,26 @@ def _cmd_obs(args: argparse.Namespace) -> int:
 
 
 def _cmd_cache(args: argparse.Namespace) -> int:
+    from .cache import resultcache
+
     root = args.cache_dir or str(anncache.default_cache_root())
-    entries = anncache.cache_entries(root)
     if args.clear:
         removed = anncache.clear_annotation_cache(root)
         print(f"cleared {removed} cached annotation payload(s) from {root}")
+        removed = resultcache.clear_result_cache(root)
+        print(f"cleared {removed} cached map result(s) from {root}")
         return 0
+    entries = anncache.cache_entries(root)
     print(f"annotation cache at {root}: {len(entries)} entrie(s)")
     for path in entries:
+        size = path.stat().st_size
+        print(f"  {path.name}  ({size} bytes)")
+    results = resultcache.result_entries(root)
+    total = sum(path.stat().st_size for path in results)
+    print(
+        f"result cache at {root}: {len(results)} entrie(s), {total} bytes"
+    )
+    for path in results:
         size = path.stat().st_size
         print(f"  {path.name}  ({size} bytes)")
     return 0
@@ -1413,7 +1479,7 @@ def build_parser() -> argparse.ArgumentParser:
         obs_parser.set_defaults(func=_cmd_obs)
 
     cache_cmd = sub.add_parser(
-        "cache", help="inspect or clear the annotation cache"
+        "cache", help="inspect or clear the annotation and result caches"
     )
     cache_cmd.add_argument("--clear", action="store_true", help="delete all entries")
     cache_cmd.add_argument("--cache-dir", help="cache location to operate on")

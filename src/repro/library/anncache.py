@@ -364,11 +364,33 @@ def payload_lock(path: Path) -> Iterator[None]:
             fcntl.flock(handle.fileno(), fcntl.LOCK_UN)
 
 
+def atomic_store_json(path: Path, data: dict) -> Path:
+    """Atomically publish one JSON payload file (the shared store step).
+
+    Write a per-PID temp file, then rename over the final path under an
+    advisory lock.  Readers never see a partial payload (rename is
+    atomic) and concurrent writers never interleave (the lock serializes
+    them) — safe for multi-process batch runs.  Both on-disk cache tiers
+    (this module's annotation payloads and the result cache in
+    :mod:`repro.cache.resultcache`) publish through this one helper so
+    they share a single write/lock discipline.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_suffix(f".tmp-{os.getpid()}")
+    with payload_lock(path):
+        with open(tmp, "w", encoding="utf-8") as handle:
+            json.dump(data, handle, separators=(",", ":"))
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, path)
+    return path
+
+
 def _store_annotations(
     library: "Library", exhaustive: bool, cold_elapsed: float, cache_dir: Path
 ) -> Path:
     path = annotation_path(library, exhaustive, cache_dir)
-    path.parent.mkdir(parents=True, exist_ok=True)
     data = {
         "cache_version": CACHE_VERSION,
         "fingerprint": library_fingerprint(library),
@@ -382,18 +404,7 @@ def _store_annotations(
             if cell.analysis is not None
         },
     }
-    # Atomic publish: write a per-PID temp file, then rename over the
-    # final path under an advisory lock.  Readers never see a partial
-    # payload (rename is atomic) and concurrent writers never interleave
-    # (the lock serializes them) — safe for multi-process batch runs.
-    tmp = path.with_suffix(f".tmp-{os.getpid()}")
-    with payload_lock(path):
-        with open(tmp, "w", encoding="utf-8") as handle:
-            json.dump(data, handle, separators=(",", ":"))
-            handle.flush()
-            os.fsync(handle.fileno())
-        os.replace(tmp, path)
-    return path
+    return atomic_store_json(path, data)
 
 
 def cache_entries(cache_dir: CacheDir = None) -> list[Path]:

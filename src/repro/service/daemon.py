@@ -322,6 +322,20 @@ class MappingService:
             "workers": self.config.workers,
             "uptime_seconds": round(time.time() - self.started_at, 3),
             "libraries": loaded_libraries(),
+            "result_cache": self._result_cache_health(),
+        }
+
+    def _result_cache_health(self) -> dict:
+        """Result-cache occupancy for load balancers and smoke tests."""
+        from ..cache.resultcache import MEMORY, result_entries
+
+        entries = result_entries(self.config.cache_dir)
+        return {
+            "memory_entries": len(MEMORY),
+            "disk_entries": len(entries),
+            "disk_bytes": sum(
+                path.stat().st_size for path in entries if path.exists()
+            ),
         }
 
     def _dispatch(

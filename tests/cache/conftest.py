@@ -1,0 +1,21 @@
+"""Fixtures for the result-cache suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cache import resultcache
+
+
+@pytest.fixture(autouse=True)
+def fresh_memory_tier():
+    """Each test starts (and leaves) the process-wide LRU empty."""
+    resultcache.MEMORY.clear()
+    yield
+    resultcache.MEMORY.clear()
+
+
+@pytest.fixture(scope="session")
+def ann_cache(tmp_path_factory) -> str:
+    """A shared on-disk annotation cache (mirrors the batch suite)."""
+    return str(tmp_path_factory.mktemp("anncache"))

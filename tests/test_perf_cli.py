@@ -168,3 +168,40 @@ class TestCheckRegressionScript:
             )
             == 0
         )
+
+    def test_benchmarks_selector_restricts_comparison(
+        self, fresh_snapshot, tmp_path, capsys
+    ):
+        # Break one benchmark's quality field; gating only on the other
+        # must still pass, gating on the broken one must fail.
+        snap = json.loads(fresh_snapshot.read_text())
+        snap["benchmarks"]["vanbek-opt"]["area"] += 1
+        fresh = tmp_path / "fresh.json"
+        fresh.write_text(json.dumps(snap))
+        checker = load_check_regression()
+        base_args = ["--baseline", str(fresh_snapshot), "--fresh", str(fresh)]
+        assert checker.main([*base_args, "--benchmarks", "chu-ad-opt"]) == 0
+        capsys.readouterr()
+        assert checker.main([*base_args, "--benchmarks", "vanbek-opt"]) == 1
+        assert "area" in capsys.readouterr().out
+
+    def test_benchmarks_selector_fails_clearly_on_missing_name(
+        self, fresh_snapshot, capsys
+    ):
+        checker = load_check_regression()
+        code = checker.main(
+            [
+                "--baseline",
+                str(fresh_snapshot),
+                "--fresh",
+                str(fresh_snapshot),
+                "--benchmarks",
+                "chu-ad-opt",
+                "not-a-benchmark",
+            ]
+        )
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "not-a-benchmark" in out
+        assert "absent from baseline" in out
+        assert "KeyError" not in out
